@@ -1,0 +1,1 @@
+bin/qpt2.mli:

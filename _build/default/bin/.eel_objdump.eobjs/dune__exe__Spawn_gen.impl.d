@@ -1,0 +1,1 @@
+bin/spawn_gen.ml: Arg Cmd Cmdliner Eel_spawn List Printf String Term

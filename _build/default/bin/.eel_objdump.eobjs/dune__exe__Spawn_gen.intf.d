@@ -1,0 +1,1 @@
+bin/spawn_gen.mli:

@@ -1,0 +1,1 @@
+bin/workload_gen.ml: Arg Cmd Cmdliner Eel_sef Eel_sparc Eel_workload List Option Printf Term

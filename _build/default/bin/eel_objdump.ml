@@ -1,0 +1,67 @@
+(* eel_objdump — inspect a SEF executable through EEL's eyes.
+
+   Shows sections and symbols, the refined routine list (after the paper's
+   §3.1 symbol-table analysis: hidden routines, data tables, multiple entry
+   points), per-routine disassembly, and CFG statistics. *)
+
+open Cmdliner
+module Sef = Eel_sef.Sef
+module E = Eel.Executable
+module C = Eel.Cfg
+
+let mach = Eel_sparc.Mach.mach
+
+let dump path disas cfg =
+  let exe = Sef.read_file path in
+  Format.printf "%a" Sef.pp exe;
+  let t = E.read_contents mach exe in
+  (* force full analysis including hidden-routine discovery *)
+  let stats = E.jump_stats t in
+  Format.printf "\nroutines (%d) — %d instructions, %d indirect jumps (%d unanalyzable):\n"
+    stats.E.js_routines stats.E.js_instructions stats.E.js_indirect_jumps
+    stats.E.js_unanalyzable;
+  List.iter
+    (fun (r : E.routine) ->
+      let g = E.control_flow_graph t r in
+      let s = C.stats_of g in
+      Format.printf "  %-20s 0x%x..0x%x%s%s  blocks=%d (delay=%d) edges=%d%s\n"
+        r.E.r_name r.E.r_lo r.E.r_hi
+        (if r.E.r_hidden then " [hidden]" else "")
+        (if List.length r.E.r_entries > 1 then
+           Printf.sprintf " [%d entries]" (List.length r.E.r_entries)
+         else "")
+        s.C.s_blocks s.C.s_delay s.C.s_edges
+        (if E.is_data_table t r then " [data table]" else "");
+      if disas then
+        List.iter
+          (fun (b : C.block) ->
+            if b.C.kind = C.Normal && b.C.reachable then (
+              Array.iter
+                (fun (a, (i : Eel_arch.Instr.t)) ->
+                  Format.printf "      %08x: %s\n" a
+                    (mach.Eel_arch.Machine.disas ~pc:a i.Eel_arch.Instr.word))
+                b.C.instrs;
+              match C.term_instr b with
+              | Some (a, i) ->
+                  Format.printf "      %08x: %s\n" a
+                    (mach.Eel_arch.Machine.disas ~pc:a i.Eel_arch.Instr.word)
+              | None -> ()))
+          (C.blocks g);
+      if cfg then
+        List.iter
+          (fun (b : C.block) ->
+            Format.printf "      %a ->" C.pp_block b;
+            List.iter (fun (e : C.edge) -> Format.printf " %a" C.pp_block e.C.edst) b.C.succs;
+            Format.printf "\n")
+          (C.blocks g))
+    (E.routines t)
+
+let cmd =
+  let path = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
+  let disas = Arg.(value & flag & info [ "d"; "disassemble" ]) in
+  let cfg = Arg.(value & flag & info [ "cfg" ] ~doc:"dump CFG edges") in
+  Cmd.v
+    (Cmd.info "eel_objdump" ~doc:"inspect a SEF executable")
+    Term.(const dump $ path $ disas $ cfg)
+
+let () = exit (Cmd.eval cmd)

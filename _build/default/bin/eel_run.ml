@@ -1,0 +1,48 @@
+(* eel_run — execute a SEF executable in the emulator.
+
+   --rtl runs the program under the spawn-description-driven interpreter
+   instead of the handwritten emulator (they must agree; see test_spawn). *)
+
+open Cmdliner
+
+let run path rtl trace fuel =
+  let exe = Eel_sef.Sef.read_file path in
+  let result =
+    if rtl then (
+      let el = Eel_spawn.Smach.load_description "descriptions/sparc.spawn" in
+      let r, _ = Eel_spawn.Interp.run ~fuel el exe in
+      r)
+    else
+      let hook =
+        if trace then
+          Some
+            (function
+            | Eel_emu.Emu.Ev_exec { pc; word } ->
+                Printf.eprintf "%08x: %s\n" pc
+                  (Eel_sparc.Mach.mach.Eel_arch.Machine.disas ~pc word)
+            | _ -> ())
+        else None
+      in
+      let r, _ = Eel_emu.Emu.run_exe ~fuel ?hook exe in
+      r
+  in
+  print_string result.Eel_emu.Emu.out;
+  Printf.eprintf "[exit=%d insns=%d loads=%d stores=%d]\n"
+    result.Eel_emu.Emu.exit_code result.Eel_emu.Emu.insns
+    result.Eel_emu.Emu.loads result.Eel_emu.Emu.stores;
+  exit result.Eel_emu.Emu.exit_code
+
+let cmd =
+  let path = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
+  let rtl =
+    Arg.(value & flag & info [ "rtl" ] ~doc:"use the spawn RTL interpreter")
+  in
+  let trace = Arg.(value & flag & info [ "trace" ] ~doc:"trace execution") in
+  let fuel =
+    Arg.(value & opt int 200_000_000 & info [ "fuel" ] ~doc:"instruction budget")
+  in
+  Cmd.v
+    (Cmd.info "eel_run" ~doc:"run a SEF executable")
+    Term.(const run $ path $ rtl $ trace $ fuel)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,44 @@
+(* qpt2 — the EEL-based edge profiler as a command-line tool (paper §5).
+
+   Instruments FILE, writes FILE.count (paper Fig. 1 writes argv[1]
+   ".count"), and with --run executes the edited program and prints the
+   edge profile. *)
+
+open Cmdliner
+module E = Eel.Executable
+module Emu = Eel_emu.Emu
+module Qpt2 = Eel_tools.Qpt2
+
+let main path run_it no_fold =
+  let exe = Eel_sef.Sef.read_file path in
+  let t0 = Unix.gettimeofday () in
+  let prof = Qpt2.instrument ~fold_delay:(not no_fold) Eel_sparc.Mach.mach exe in
+  let dt = Unix.gettimeofday () -. t0 in
+  let out = path ^ ".count" in
+  Eel_sef.Sef.write_file out prof.Qpt2.edited;
+  Printf.printf "instrumented %s -> %s: %d counters, %d uneditable edges skipped (%.3fs)\n"
+    path out
+    (List.length prof.Qpt2.counters)
+    prof.Qpt2.skipped_uneditable dt;
+  if run_it then (
+    let res, st = Emu.run_exe prof.Qpt2.edited in
+    print_string res.Emu.out;
+    Printf.printf "--- edge profile ---\n";
+    List.iter
+      (fun ((c : Qpt2.counter), n) ->
+        if n > 0 then
+          Printf.printf "%-20s block %-4d edge %-4d : %d\n" c.Qpt2.c_routine
+            c.Qpt2.c_block c.Qpt2.c_edge n)
+      (Qpt2.counts prof st.Emu.mem))
+
+let cmd =
+  let path = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
+  let run_it = Arg.(value & flag & info [ "run" ] ~doc:"run and print profile") in
+  let no_fold =
+    Arg.(value & flag & info [ "no-fold" ] ~doc:"disable delay-slot refolding")
+  in
+  Cmd.v
+    (Cmd.info "qpt2" ~doc:"EEL-based edge profiler")
+    Term.(const main $ path $ run_it $ no_fold)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,59 @@
+(* workload_gen — generate synthetic SPARC workload executables.
+
+   Emits either assembly source (--asm) or an assembled SEF executable.
+   The generated programs exhibit the code idioms of the paper's SPEC92
+   environment (see lib/workload/gen.ml and DESIGN.md). *)
+
+open Cmdliner
+
+let run style routines seed strip asm_only out =
+  let style =
+    match style with
+    | "gcc" -> Eel_workload.Gen.Gcc
+    | "sunpro" -> Eel_workload.Gen.Sunpro
+    | s -> failwith ("unknown style: " ^ s)
+  in
+  let cfg = { Eel_workload.Gen.default with style; routines; seed } in
+  let src = Eel_workload.Gen.program cfg in
+  if asm_only then
+    match out with
+    | Some path ->
+        let oc = open_out path in
+        output_string oc src;
+        close_out oc
+    | None -> print_string src
+  else
+    let exe =
+      match Eel_sparc.Asm.assemble src with
+      | Ok e -> e
+      | Error m -> failwith ("assembly failed: " ^ m)
+    in
+    let exe = if strip then Eel_sef.Sef.strip exe else exe in
+    let path = Option.value ~default:"workload.sef" out in
+    Eel_sef.Sef.write_file path exe;
+    Printf.printf "wrote %s (%d bytes of text+data, %d symbols)\n" path
+      (Eel_sef.Sef.image_size exe)
+      (List.length exe.Eel_sef.Sef.symbols)
+
+let cmd =
+  let style =
+    Arg.(value & opt string "gcc" & info [ "style" ] ~doc:"gcc or sunpro")
+  in
+  let routines =
+    Arg.(value & opt int 20 & info [ "routines" ] ~doc:"number of routines")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"random seed") in
+  let strip =
+    Arg.(value & flag & info [ "strip" ] ~doc:"strip the symbol table")
+  in
+  let asm =
+    Arg.(value & flag & info [ "asm" ] ~doc:"emit assembly source instead")
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc:"output file")
+  in
+  Cmd.v
+    (Cmd.info "workload_gen" ~doc:"generate synthetic SPARC workloads")
+    Term.(const run $ style $ routines $ seed $ strip $ asm $ out)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/cache_sim.ml: Eel_emu Eel_sparc Eel_tools Eel_workload List Printf

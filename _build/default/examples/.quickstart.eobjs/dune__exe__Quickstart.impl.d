@@ -1,0 +1,1 @@
+examples/quickstart.ml: Eel Eel_emu Eel_sef Eel_sparc Eel_util Format List Option Printf

@@ -1,0 +1,1 @@
+examples/sandbox.ml: Eel_emu Eel_sparc Eel_tools Eel_util Printf

@@ -1,0 +1,1 @@
+lib/arch/instr.ml: Eel_util Format Regset

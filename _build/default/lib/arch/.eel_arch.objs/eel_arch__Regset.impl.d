@@ -1,0 +1,1 @@
+lib/arch/regset.ml: Format List String

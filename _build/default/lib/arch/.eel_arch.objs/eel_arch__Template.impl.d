@@ -1,0 +1,1 @@
+lib/arch/template.ml: Array Eel_util List

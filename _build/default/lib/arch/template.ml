@@ -1,0 +1,47 @@
+(** Assembled code templates — the machine-level substance of code snippets.
+
+    A template is a sequence of encoded machine words plus two kinds of
+    unresolved references:
+
+    - {!vreg_use}: occurrences of {e virtual registers} (written [%v0]–[%v7]
+      in snippet assembly). EEL's snippet machinery assigns them dead
+      physical registers at each insertion point (register scavenging,
+      paper §3.5) and patches the recorded bit fields.
+    - {!reloc}: pc-relative control transfers to {e absolute} targets (e.g.
+      a snippet calling a handler routine). They can only be resolved once
+      the snippet's final address is known, mirroring the paper's snippet
+      call-back mechanism ("adjust instruction displacements when an
+      instruction's final location is known"). *)
+
+type vreg_use = {
+  index : int;  (** which word of the template *)
+  lo : int;
+  hi : int;  (** the register bit field to patch *)
+  vreg : int;  (** virtual register number (0-based) *)
+}
+
+type reloc = {
+  index : int;  (** word holding the pc-relative control transfer *)
+  target : int;  (** absolute byte address the transfer must reach *)
+}
+
+type t = { words : int array; vuses : vreg_use list; relocs : reloc list }
+
+let of_words words = { words = Array.of_list words; vuses = []; relocs = [] }
+
+let length t = Array.length t.words
+
+(** Number of distinct virtual registers used. *)
+let num_vregs t =
+  List.fold_left (fun acc (u : vreg_use) -> max acc (u.vreg + 1)) 0 t.vuses
+
+(** [subst_vregs t assign] returns the words with every virtual-register use
+    replaced by [assign.(vreg)]. Relocations remain to be applied. *)
+let subst_vregs t (assign : int array) =
+  let words = Array.copy t.words in
+  List.iter
+    (fun (u : vreg_use) ->
+      words.(u.index) <-
+        Eel_util.Word.set_bits ~lo:u.lo ~hi:u.hi words.(u.index) assign.(u.vreg))
+    t.vuses;
+  words

@@ -1,0 +1,1 @@
+lib/core/callgraph.ml: Array Cfg Executable Hashtbl List Option Slice

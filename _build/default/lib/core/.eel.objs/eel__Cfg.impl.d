@@ -1,0 +1,1 @@
+lib/core/cfg.ml: Array Eel_arch Eel_util Format Hashtbl Instr Instr_cache List Machine Option Printf Stats

@@ -1,0 +1,1 @@
+lib/core/dataflow.ml: Array Cfg Eel_arch Eel_util Hashtbl Instr List Machine Regset

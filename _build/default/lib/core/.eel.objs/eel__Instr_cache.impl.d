@@ -1,0 +1,1 @@
+lib/core/instr_cache.ml: Eel_arch Hashtbl Stats

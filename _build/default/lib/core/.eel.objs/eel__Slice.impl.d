@@ -1,0 +1,1 @@
+lib/core/slice.ml: Array Cfg Dataflow Eel_arch Eel_util Hashtbl Instr List Machine Regset

@@ -1,0 +1,1 @@
+lib/core/snippet.ml: Array Eel_arch List Machine Regset Stats Template

@@ -1,0 +1,38 @@
+(** Instruction sharing (paper §3.4).
+
+    "To improve efficiency, EEL allocates only one instruction to represent
+    all instances of a particular machine instruction. Typically, this
+    optimization reduces the number of allocated EEL instructions by a
+    factor of four."
+
+    EEL instructions ({!Eel_arch.Instr.t}) are position independent — control
+    transfer targets are displacements — so all occurrences of one encoding
+    word can share a single value. The cache can be disabled to measure the
+    effect (experiment E5). *)
+
+type t = {
+  mach : Eel_arch.Machine.t;
+  table : (int, Eel_arch.Instr.t) Hashtbl.t;
+  enabled : bool;
+}
+
+let create ?(enabled = true) mach = { mach; table = Hashtbl.create 1024; enabled }
+
+(** [lift c word] returns the (possibly shared) EEL instruction for a machine
+    word, updating the {!Stats} counters. *)
+let lift c word =
+  Stats.stats.instrs_lifted <- Stats.stats.instrs_lifted + 1;
+  if not c.enabled then (
+    Stats.stats.instrs_alloc <- Stats.stats.instrs_alloc + 1;
+    c.mach.Eel_arch.Machine.lift word)
+  else
+    match Hashtbl.find_opt c.table word with
+    | Some i -> i
+    | None ->
+        let i = c.mach.Eel_arch.Machine.lift word in
+        Stats.stats.instrs_alloc <- Stats.stats.instrs_alloc + 1;
+        Hashtbl.add c.table word i;
+        i
+
+(** Number of distinct instruction objects allocated through this cache. *)
+let unique c = Hashtbl.length c.table

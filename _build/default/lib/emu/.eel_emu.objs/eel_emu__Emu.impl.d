@@ -1,0 +1,1 @@
+lib/emu/emu.ml: Array Buffer Bytes Char Eel_sef Eel_sparc Eel_util Insn List Option Printf Regs

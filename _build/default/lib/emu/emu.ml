@@ -1,0 +1,340 @@
+(** A SPARC V8 (integer subset) emulator.
+
+    The paper ran original and edited executables on real SPARC hardware;
+    this emulator is the repository's stand-in (see DESIGN.md). It implements
+    the pc/npc delayed-control-transfer model exactly — including annulled
+    delay slots — so that EEL's delay-slot CFG normalization and delay-slot
+    refolding are tested against real architectural behaviour, not a
+    simplification.
+
+    Besides executing programs, the emulator serves as {e ground truth} for
+    every editing experiment: it counts dynamic instructions (the basis of
+    the Active Memory slowdown experiment E6), records memory events and
+    per-pc execution counts (validating qpt2's edge profiles), and checks
+    that edited executables produce byte-identical observable output.
+
+    System-call convention: [ta n] with arguments in %o0–%o2 and result in
+    %o0 (the trap number selects the call, statically visible to EEL):
+
+    - [ta 1] — exit; %o0 is the exit code
+    - [ta 2] — putint: print %o0 as signed decimal plus newline
+    - [ta 3] — putchar: print the byte in %o0
+    - [ta 4] — write: print %o1 bytes starting at address %o0
+    - [ta 5] — brk: set the heap break to %o0; returns it in %o0
+    - [ta 7] — cycles: return the dynamic instruction count in %o0 *)
+
+open Eel_sparc
+module W = Eel_util.Word
+
+exception Fault of string
+
+let fault fmt = Printf.ksprintf (fun s -> raise (Fault s)) fmt
+
+type event =
+  | Ev_exec of { pc : int; word : int }
+  | Ev_load of { pc : int; addr : int; width : int }
+  | Ev_store of { pc : int; addr : int; width : int }
+
+type t = {
+  mem : Bytes.t;
+  regs : int array;  (** 34 entries: 32 GPRs + icc + y *)
+  mutable pc : int;
+  mutable npc : int;
+  mutable exited : int option;
+  mutable ninsns : int;
+  mutable nloads : int;
+  mutable nstores : int;
+  mutable brk : int;
+  output : Buffer.t;
+  mutable hook : (event -> unit) option;
+  mutable text_lo : int;
+  mutable text_hi : int;
+}
+
+(** Default extra space above the loaded image: heap + stack. *)
+let default_headroom = 8 * 1024 * 1024
+
+let stack_size = 1024 * 1024
+
+(** [load ?headroom exe] builds a machine state with [exe]'s sections copied
+    into a flat memory image, the stack pointer at the top of memory, and
+    pc at the entry point. *)
+let load ?(headroom = default_headroom) (exe : Eel_sef.Sef.t) =
+  let high = Eel_sef.Sef.high_addr exe in
+  let size = high + headroom in
+  let mem = Bytes.make size '\000' in
+  List.iter
+    (fun (s : Eel_sef.Sef.section) ->
+      if s.sec_kind <> Eel_sef.Sef.Bss then
+        Bytes.blit s.contents 0 mem s.vaddr s.size)
+    exe.sections;
+  let regs = Array.make Regs.num_regs 0 in
+  regs.(Regs.sp) <- W.mask (size - 64) land lnot 7;
+  let text_lo, text_hi =
+    match Eel_sef.Sef.text_sections exe with
+    | [] -> (0, 0)
+    | ss ->
+        ( List.fold_left (fun a (s : Eel_sef.Sef.section) -> min a s.vaddr) max_int ss,
+          List.fold_left
+            (fun a (s : Eel_sef.Sef.section) -> max a (s.vaddr + s.size))
+            0 ss )
+  in
+  {
+    mem;
+    regs;
+    pc = exe.entry;
+    npc = exe.entry + 4;
+    exited = None;
+    ninsns = 0;
+    nloads = 0;
+    nstores = 0;
+    brk = high;
+    output = Buffer.create 256;
+    hook = None;
+    text_lo;
+    text_hi;
+  }
+
+let reg t r = if r = Regs.g0 then 0 else t.regs.(r)
+
+let set_reg t r v = if r <> Regs.g0 then t.regs.(r) <- W.mask v
+
+let check_addr t addr width =
+  if addr < 0 || addr + width > Bytes.length t.mem then
+    fault "memory access out of range: addr=0x%x width=%d pc=0x%x" addr width t.pc;
+  if addr land (min width 4 - 1) <> 0 then
+    fault "misaligned %d-byte access at 0x%x (pc=0x%x)" width addr t.pc
+
+let load_mem t addr width ~signed =
+  check_addr t addr width;
+  let byte i = Char.code (Bytes.get t.mem (addr + i)) in
+  let v =
+    match width with
+    | 1 -> byte 0
+    | 2 -> (byte 0 lsl 8) lor byte 1
+    | 4 -> Eel_util.Bytebuf.get32_be t.mem addr
+    | _ -> assert false
+  in
+  if signed then W.mask (W.sext (width * 8) v) else v
+
+let store_mem t addr width v =
+  check_addr t addr width;
+  match width with
+  | 1 -> Bytes.set t.mem addr (Char.chr (v land 0xFF))
+  | 2 ->
+      Bytes.set t.mem addr (Char.chr ((v lsr 8) land 0xFF));
+      Bytes.set t.mem (addr + 1) (Char.chr (v land 0xFF))
+  | 4 -> Eel_util.Bytebuf.set32_be t.mem addr (W.mask v)
+  | _ -> assert false
+
+(** {1 Condition codes} *)
+
+let icc_logic r =
+  (if W.mask r land 0x8000_0000 <> 0 then 8 else 0) lor if W.mask r = 0 then 4 else 0
+
+let icc_add a b r =
+  let n = if r land 0x8000_0000 <> 0 then 8 else 0 in
+  let z = if r = 0 then 4 else 0 in
+  let v =
+    if lnot (a lxor b) land (a lxor r) land 0x8000_0000 <> 0 then 2 else 0
+  in
+  let c = if a + b > 0xFFFF_FFFF then 1 else 0 in
+  n lor z lor v lor c
+
+let icc_sub a b r =
+  let n = if r land 0x8000_0000 <> 0 then 8 else 0 in
+  let z = if r = 0 then 4 else 0 in
+  let v = if (a lxor b) land (a lxor r) land 0x8000_0000 <> 0 then 2 else 0 in
+  let c = if a < b then 1 else 0 in
+  n lor z lor v lor c
+
+(** {1 System calls} *)
+
+let syscall t num =
+  match num with
+  | 1 -> t.exited <- Some (reg t Regs.o0 land 0xFF)
+  | 2 ->
+      Buffer.add_string t.output (string_of_int (W.signed (reg t Regs.o0)));
+      Buffer.add_char t.output '\n'
+  | 3 -> Buffer.add_char t.output (Char.chr (reg t Regs.o0 land 0xFF))
+  | 4 ->
+      let addr = reg t Regs.o0 and len = reg t Regs.o1 in
+      if addr < 0 || len < 0 || addr + len > Bytes.length t.mem then
+        fault "write syscall out of range";
+      Buffer.add_string t.output (Bytes.sub_string t.mem addr len)
+  | 5 ->
+      let nb = reg t Regs.o0 in
+      if nb > t.brk && nb < Bytes.length t.mem - stack_size then t.brk <- nb;
+      set_reg t Regs.o0 t.brk
+  | 7 -> set_reg t Regs.o0 t.ninsns
+  | n -> fault "unknown syscall %d at pc=0x%x" n t.pc
+
+(** {1 Execution} *)
+
+let emit t ev = match t.hook with Some f -> f ev | None -> ()
+
+(** Execute a single instruction (at [t.pc]). *)
+let step t =
+  let pc = t.pc in
+  if pc land 3 <> 0 then fault "misaligned pc 0x%x" pc;
+  if pc < 0 || pc + 4 > Bytes.length t.mem then fault "pc out of range 0x%x" pc;
+  let word = Eel_util.Bytebuf.get32_be t.mem pc in
+  emit t (Ev_exec { pc; word });
+  t.ninsns <- t.ninsns + 1;
+  (* default successor state *)
+  let next_pc = ref t.npc in
+  let next_npc = ref (t.npc + 4) in
+  (match Insn.decode word with
+  | Insn.Invalid w -> fault "illegal instruction 0x%08x at pc=0x%x" w pc
+  | Insn.Unimp i -> fault "unimp 0x%x executed at pc=0x%x" i pc
+  | Insn.Sethi { rd; imm22 } -> set_reg t rd (imm22 lsl 10)
+  | Insn.Rdy { rd } -> set_reg t rd t.regs.(Regs.y)
+  | Insn.Wry { rs1; op2 } ->
+      let v2 = match op2 with Insn.O_imm i -> W.mask i | Insn.O_reg r -> reg t r in
+      t.regs.(Regs.y) <- reg t rs1 lxor v2
+  | Insn.Alu { op; rs1; op2; rd } -> (
+      let a = reg t rs1 in
+      let b = match op2 with Insn.O_imm i -> W.mask i | Insn.O_reg r -> reg t r in
+      let set v = set_reg t rd v in
+      let setcc v = t.regs.(Regs.icc) <- v in
+      match op with
+      | Insn.Add | Insn.Save | Insn.Restore -> set (W.add a b)
+      | Insn.Sub -> set (W.sub a b)
+      | Insn.And -> set (a land b)
+      | Insn.Or -> set (a lor b)
+      | Insn.Xor -> set (a lxor b)
+      | Insn.Andn -> set (a land W.mask (lnot b))
+      | Insn.Orn -> set (a lor W.mask (lnot b))
+      | Insn.Xnor -> set (W.mask (lnot (a lxor b)))
+      | Insn.Addcc ->
+          let r = W.add a b in
+          set r;
+          setcc (icc_add a b r)
+      | Insn.Subcc ->
+          let r = W.sub a b in
+          set r;
+          setcc (icc_sub a b r)
+      | Insn.Andcc ->
+          let r = a land b in
+          set r;
+          setcc (icc_logic r)
+      | Insn.Orcc ->
+          let r = a lor b in
+          set r;
+          setcc (icc_logic r)
+      | Insn.Xorcc ->
+          let r = a lxor b in
+          set r;
+          setcc (icc_logic r)
+      | Insn.Sll -> set (W.sll a b)
+      | Insn.Srl -> set (W.srl a b)
+      | Insn.Sra -> set (W.sra a b)
+      | Insn.Umul ->
+          let p = a * b in
+          t.regs.(Regs.y) <- W.mask (p lsr 32);
+          set (W.mask p)
+      | Insn.Smul ->
+          let p = W.signed a * W.signed b in
+          t.regs.(Regs.y) <- p asr 32 land W.mask32;
+          set (W.mask p)
+      | Insn.Udiv ->
+          if b = 0 then fault "division by zero at pc=0x%x" pc;
+          let dividend = (t.regs.(Regs.y) lsl 32) lor a in
+          set (W.mask (dividend / b))
+      | Insn.Sdiv ->
+          if b = 0 then fault "division by zero at pc=0x%x" pc;
+          (* signed divide of Y:rs1; we use Y's sign as the dividend sign *)
+          let hi = W.signed t.regs.(Regs.y) in
+          let dividend = (hi * 4294967296) + a in
+          set (W.of_signed (dividend / W.signed b)))
+  | Insn.Bicc { cond; annul; disp22 } ->
+      let target = W.add pc (disp22 * 4) in
+      if cond = Insn.CA then
+        if annul then (
+          (* ba,a: delay slot annulled, jump immediately *)
+          next_pc := target;
+          next_npc := target + 4)
+        else next_npc := target
+      else if cond = Insn.CN then (
+        if annul then (
+          (* bn,a: skip the delay slot *)
+          next_pc := t.npc + 4;
+          next_npc := t.npc + 8))
+      else if Insn.cond_eval cond t.regs.(Regs.icc) then next_npc := target
+      else if annul then (
+        (* untaken annulled conditional: squash delay slot *)
+        next_pc := t.npc + 4;
+        next_npc := t.npc + 8)
+  | Insn.Call { disp30 } ->
+      set_reg t Regs.o7 pc;
+      next_npc := W.add pc (disp30 * 4)
+  | Insn.Jmpl { rs1; op2; rd } ->
+      let b = match op2 with Insn.O_imm i -> W.mask i | Insn.O_reg r -> reg t r in
+      let target = W.add (reg t rs1) b in
+      set_reg t rd pc;
+      next_npc := target
+  | Insn.Ticc { cond; rs1; op2 } ->
+      let taken =
+        cond = Insn.CA || Insn.cond_eval cond t.regs.(Regs.icc)
+      in
+      if taken then (
+        let b = match op2 with Insn.O_imm i -> i | Insn.O_reg r -> reg t r in
+        syscall t (reg t rs1 + b))
+  | Insn.Mem { op; rs1; op2; rd } -> (
+      let b = match op2 with Insn.O_imm i -> W.mask i | Insn.O_reg r -> reg t r in
+      let addr = W.add (reg t rs1) b in
+      let width = Insn.mem_width op in
+      if Insn.mem_is_store op then (
+        t.nstores <- t.nstores + 1;
+        emit t (Ev_store { pc; addr; width }))
+      else (
+        t.nloads <- t.nloads + 1;
+        emit t (Ev_load { pc; addr; width }));
+      match op with
+      | Insn.Ld -> set_reg t rd (load_mem t addr 4 ~signed:false)
+      | Insn.Ldub -> set_reg t rd (load_mem t addr 1 ~signed:false)
+      | Insn.Ldsb -> set_reg t rd (load_mem t addr 1 ~signed:true)
+      | Insn.Lduh -> set_reg t rd (load_mem t addr 2 ~signed:false)
+      | Insn.Ldsh -> set_reg t rd (load_mem t addr 2 ~signed:true)
+      | Insn.Ldd ->
+          set_reg t rd (load_mem t addr 4 ~signed:false);
+          set_reg t (rd + 1) (load_mem t (addr + 4) 4 ~signed:false)
+      | Insn.St -> store_mem t addr 4 (reg t rd)
+      | Insn.Stb -> store_mem t addr 1 (reg t rd)
+      | Insn.Sth -> store_mem t addr 2 (reg t rd)
+      | Insn.Std ->
+          store_mem t addr 4 (reg t rd);
+          store_mem t (addr + 4) 4 (reg t (rd + 1))));
+  t.pc <- !next_pc;
+  t.npc <- !next_npc
+
+exception Out_of_fuel
+
+type result = {
+  exit_code : int;
+  insns : int;
+  loads : int;
+  stores : int;
+  out : string;
+}
+
+(** [run ?fuel t] executes until exit. Raises {!Fault} on machine faults and
+    {!Out_of_fuel} after [fuel] instructions (default 200M). *)
+let run ?(fuel = 200_000_000) t =
+  while t.exited = None do
+    if t.ninsns >= fuel then raise Out_of_fuel;
+    step t
+  done;
+  {
+    exit_code = Option.get t.exited;
+    insns = t.ninsns;
+    loads = t.nloads;
+    stores = t.nstores;
+    out = Buffer.contents t.output;
+  }
+
+(** [run_exe ?fuel ?hook exe] loads and runs an executable. *)
+let run_exe ?fuel ?hook exe =
+  let t = load exe in
+  t.hook <- hook;
+  (run ?fuel t, t)

@@ -1,0 +1,1 @@
+lib/sef/sef.ml: Buffer Bytebuf Bytes Eel_util Format List Printf Word

@@ -1,0 +1,182 @@
+(** SEF — the Simple Executable Format.
+
+    SEF plays the role the paper assigns to Unix executable formats accessed
+    through GNU bfd (§4): sections with virtual addresses, an entry point and
+    a symbol table. Crucially for EEL, SEF symbol tables exhibit the same
+    pathologies the paper's §3.1 analysis exists to repair: they may be
+    incomplete (hidden routines), misleading (data tables in the text segment
+    carrying function-looking symbols), polluted with temporary/debugging
+    labels, or absent entirely (stripped executables).
+
+    The on-disk encoding is a little-endian binary container; section
+    contents are raw bytes (machine words inside text are big-endian, per
+    SPARC convention). *)
+
+open Eel_util
+
+type sec_kind = Text | Data | Bss
+
+type section = {
+  sec_name : string;
+  sec_kind : sec_kind;
+  vaddr : int;
+  size : int;  (** size in bytes; for [Bss] no contents are stored *)
+  contents : bytes;  (** [Bytes.length contents = size] except for Bss *)
+}
+
+(** Symbol kinds, mirroring the zoo a real symbol table contains. [Label]
+    and [Debug] entries are the "duplicate, temporary, and debugging labels"
+    that EEL's stage-1 refinement discards. *)
+type sym_kind = Func | Object | Label | Debug
+
+type symbol = {
+  sym_name : string;
+  value : int;
+  sym_size : int;  (** 0 when unknown *)
+  kind : sym_kind;
+  global : bool;
+}
+
+type t = { entry : int; sections : section list; symbols : symbol list }
+
+let magic = "SEF1"
+
+(** {1 Construction and inquiry} *)
+
+let create ~entry ~sections ~symbols = { entry; sections; symbols }
+
+let find_section t name =
+  List.find_opt (fun s -> s.sec_name = name) t.sections
+
+let text_sections t = List.filter (fun s -> s.sec_kind = Text) t.sections
+
+(** [section_at t addr] finds the section whose address range contains
+    [addr]. *)
+let section_at t addr =
+  List.find_opt (fun s -> addr >= s.vaddr && addr < s.vaddr + s.size) t.sections
+
+(** [fetch32 t addr] reads the big-endian machine word at [addr], if [addr]
+    lies within a non-bss section. *)
+let fetch32 t addr =
+  match section_at t addr with
+  | Some s when s.sec_kind <> Bss && addr + 4 <= s.vaddr + s.size ->
+      Some (Bytebuf.get32_be s.contents (addr - s.vaddr))
+  | _ -> None
+
+(** [patch32 t addr v] overwrites the word at [addr] in place. Returns
+    [false] when the address is outside every stored section. *)
+let patch32 t addr v =
+  match section_at t addr with
+  | Some s when s.sec_kind <> Bss && addr + 4 <= s.vaddr + s.size ->
+      Bytebuf.set32_be s.contents (addr - s.vaddr) v;
+      true
+  | _ -> false
+
+(** [strip t] removes the entire symbol table, producing the stripped
+    executables of paper §3.1 stage 2. *)
+let strip t = { t with symbols = [] }
+
+(** Address of the end of the highest section. *)
+let high_addr t =
+  List.fold_left (fun a s -> max a (s.vaddr + s.size)) 0 t.sections
+
+(** {1 Serialization} *)
+
+let sec_kind_code = function Text -> 0 | Data -> 1 | Bss -> 2
+
+let sec_kind_of_code = function
+  | 0 -> Text
+  | 1 -> Data
+  | 2 -> Bss
+  | n -> failwith (Printf.sprintf "SEF: bad section kind %d" n)
+
+let sym_kind_code = function Func -> 0 | Object -> 1 | Label -> 2 | Debug -> 3
+
+let sym_kind_of_code = function
+  | 0 -> Func
+  | 1 -> Object
+  | 2 -> Label
+  | 3 -> Debug
+  | n -> failwith (Printf.sprintf "SEF: bad symbol kind %d" n)
+
+let to_string t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf magic;
+  Bytebuf.w32 buf t.entry;
+  Bytebuf.w32 buf (List.length t.sections);
+  List.iter
+    (fun s ->
+      Bytebuf.wstr buf s.sec_name;
+      Bytebuf.w8 buf (sec_kind_code s.sec_kind);
+      Bytebuf.w32 buf s.vaddr;
+      Bytebuf.w32 buf s.size;
+      if s.sec_kind <> Bss then Bytebuf.wbytes buf s.contents)
+    t.sections;
+  Bytebuf.w32 buf (List.length t.symbols);
+  List.iter
+    (fun s ->
+      Bytebuf.wstr buf s.sym_name;
+      Bytebuf.w32 buf s.value;
+      Bytebuf.w32 buf s.sym_size;
+      Bytebuf.w8 buf (sym_kind_code s.kind);
+      Bytebuf.w8 buf (if s.global then 1 else 0))
+    t.symbols;
+  Buffer.contents buf
+
+let of_string src =
+  let r = Bytebuf.reader src in
+  let m = Bytes.to_string (Bytebuf.rbytes r 4) in
+  if m <> magic then failwith "SEF: bad magic";
+  let entry = Bytebuf.r32 r in
+  let nsec = Bytebuf.r32 r in
+  let sections =
+    List.init nsec (fun _ ->
+        let sec_name = Bytebuf.rstr r in
+        let sec_kind = sec_kind_of_code (Bytebuf.r8 r) in
+        let vaddr = Bytebuf.r32 r in
+        let size = Bytebuf.r32 r in
+        let contents =
+          if sec_kind = Bss then Bytes.empty else Bytebuf.rbytes r size
+        in
+        { sec_name; sec_kind; vaddr; size; contents })
+  in
+  let nsym = Bytebuf.r32 r in
+  let symbols =
+    List.init nsym (fun _ ->
+        let sym_name = Bytebuf.rstr r in
+        let value = Bytebuf.r32 r in
+        let sym_size = Bytebuf.r32 r in
+        let kind = sym_kind_of_code (Bytebuf.r8 r) in
+        let global = Bytebuf.r8 r = 1 in
+        { sym_name; value; sym_size; kind; global })
+  in
+  { entry; sections; symbols }
+
+let write_file path t =
+  let oc = open_out_bin path in
+  output_string oc (to_string t);
+  close_out oc
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  of_string s
+
+(** Total bytes of text and data contents — the "program size" reported in
+    Table 1. *)
+let image_size t =
+  List.fold_left
+    (fun acc s -> if s.sec_kind = Bss then acc else acc + s.size)
+    0 t.sections
+
+let pp fmt t =
+  Format.fprintf fmt "entry=%a@\n" Word.pp t.entry;
+  List.iter
+    (fun s ->
+      Format.fprintf fmt "section %-10s %s vaddr=%a size=%d@\n" s.sec_name
+        (match s.sec_kind with Text -> "text" | Data -> "data" | Bss -> "bss")
+        Word.pp s.vaddr s.size)
+    t.sections;
+  Format.fprintf fmt "%d symbols@\n" (List.length t.symbols)

@@ -1,0 +1,1 @@
+lib/sparc/asm.ml: Array Buffer Bytebuf Bytes Char Eel_arch Eel_sef Eel_util Hashtbl Insn List Printf Regs Result String Word

@@ -1,0 +1,1 @@
+lib/sparc/insn.ml: Eel_arch Eel_util Format Printf Regs Word

@@ -1,0 +1,1 @@
+lib/sparc/lift.ml: Eel_arch Eel_util Insn Instr Option Regs Regset Word

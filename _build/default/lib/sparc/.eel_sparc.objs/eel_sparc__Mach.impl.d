@@ -1,0 +1,1 @@
+lib/sparc/mach.ml: Asm Eel_arch Eel_util Insn Instr Lift Machine Regs Regset

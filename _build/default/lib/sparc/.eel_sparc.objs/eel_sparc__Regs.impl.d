@@ -1,0 +1,1 @@
+lib/sparc/regs.ml: Array Option Printf String

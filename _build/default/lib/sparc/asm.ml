@@ -1,0 +1,903 @@
+(** A two-pass SPARC assembler.
+
+    This repository's substitute for the system assembler: workload programs,
+    instrumentation handler routines and code snippets are all written in
+    (a useful subset of) SPARC assembly syntax and assembled here, either
+    into complete {!Eel_sef.Sef.t} executables ({!assemble}) or into
+    relocatable snippet templates ({!parse_snippet}).
+
+    Beyond the standard directives, a few directives exist specifically to
+    {e fabricate the symbol-table pathologies} of paper §3.1 so that EEL's
+    refinement analysis has something real to repair:
+
+    - [.nosym name] — suppress the symbol: a {e hidden routine};
+    - [.labelsym name] — emit as an internal label (stage-1 pollution);
+    - [.debugsym name] — emit an extra debugging symbol at [name];
+    - [.symat name expr kind] — plant an arbitrary (possibly misleading)
+      symbol, e.g. a [Func] symbol on a data table in the text segment.
+
+    Comments run from [!] to end of line. Local labels (names beginning with
+    ['L'] or ['.']) never reach the symbol table, like temporary labels in a
+    real assembler. *)
+
+open Eel_util
+module Sef = Eel_sef.Sef
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type expr =
+  | Enum of int
+  | Esym of string  (** label or [$param] *)
+  | Edot  (** current location counter *)
+  | Eadd of expr * expr
+  | Esub of expr * expr
+  | Eneg of expr
+  | Ehi of expr  (** [%hi(e)]: bits 31:10 *)
+  | Elo of expr  (** [%lo(e)]: bits 9:0 *)
+
+type env = {
+  lookup : string -> int option;  (** labels and [$params] *)
+  dot : int;
+  mutable used_label : bool;  (** set when a {e local} label was referenced *)
+  is_label : string -> bool;
+}
+
+exception Error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+let rec eval env = function
+  | Enum n -> n
+  | Edot -> env.dot
+  | Esym s -> (
+      match env.lookup s with
+      | Some v ->
+          if env.is_label s then env.used_label <- true;
+          v
+      | None -> err "undefined symbol '%s'" s)
+  | Eadd (a, b) -> eval env a + eval env b
+  | Esub (a, b) -> eval env a - eval env b
+  | Eneg a -> -eval env a
+  | Ehi a -> (Word.mask (eval env a) lsr 10) land 0x3FFFFF
+  | Elo a -> Word.mask (eval env a) land 0x3FF
+
+(* ------------------------------------------------------------------ *)
+(* Tokenizer                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let tokenize line =
+  let n = String.length line in
+  let toks = ref [] in
+  let i = ref 0 in
+  let is_word c =
+    (c >= 'a' && c <= 'z')
+    || (c >= 'A' && c <= 'Z')
+    || (c >= '0' && c <= '9')
+    || c = '_' || c = '.' || c = '$' || c = '%'
+  in
+  while !i < n do
+    let c = line.[!i] in
+    if c = ' ' || c = '\t' then incr i
+    else if c = '!' then i := n (* comment *)
+    else if is_word c then (
+      let j = ref !i in
+      while !j < n && is_word line.[!j] do
+        incr j
+      done;
+      toks := String.sub line !i (!j - !i) :: !toks;
+      i := !j)
+    else (
+      toks := String.make 1 c :: !toks;
+      incr i)
+  done;
+  List.rev !toks
+
+(* ------------------------------------------------------------------ *)
+(* Parsed items                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type operandx = Xreg of int | Ximm of expr
+
+type pre_insn =
+  | P_alu of Insn.alu * int * operandx * int
+  | P_sethi of expr * int  (** expr already wrapped in Ehi when written %hi *)
+  | P_mem of Insn.mem * int * operandx * int
+  | P_branch of Insn.cond * bool * expr
+  | P_call of expr
+  | P_jmpl of int * operandx * int
+  | P_ta of expr
+  | P_unimp of expr
+  | P_rdy of int
+  | P_wry of int * operandx
+
+type item =
+  | I_insn of pre_insn
+  | I_set of expr * int  (** [set expr, rd] — expands to sethi+or, 8 bytes *)
+  | I_word of expr list
+  | I_half of expr list
+  | I_byte of expr list
+  | I_ascii of string
+  | I_align of int
+  | I_space of int
+
+type sym_directive =
+  | D_global of string
+  | D_nosym of string
+  | D_labelsym of string
+  | D_debugsym of string
+  | D_symat of string * expr * Sef.sym_kind
+  | D_entry of string
+
+type line = {
+  sec : int;  (** 0 = text, 1 = data, 2 = bss *)
+  labels : string list;
+  item : item option;
+  lineno : int;
+}
+
+let item_size = function
+  | I_insn _ -> 4
+  | I_set _ -> 8
+  | I_word es -> 4 * List.length es
+  | I_half es -> 2 * List.length es
+  | I_byte es -> List.length es
+  | I_ascii s -> String.length s
+  | I_align _ -> -1 (* computed during layout *)
+  | I_space n -> n
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let parse_int s =
+  match int_of_string_opt s with
+  | Some v -> Some v
+  | None -> None
+
+let is_number s =
+  String.length s > 0
+  && ((s.[0] >= '0' && s.[0] <= '9') || (String.length s > 1 && s.[0] = '-'))
+
+(* expr := ['-'] term (('+'|'-') term)* ; term := num | ident | '.' | %hi(e) | %lo(e) *)
+let rec parse_expr toks =
+  let rec term toks =
+    match toks with
+    | "%hi" :: "(" :: rest ->
+        let e, rest = parse_expr rest in
+        (match rest with
+        | ")" :: rest -> (Ehi e, rest)
+        | _ -> err "expected ) after %%hi")
+    | "%lo" :: "(" :: rest ->
+        let e, rest = parse_expr rest in
+        (match rest with
+        | ")" :: rest -> (Elo e, rest)
+        | _ -> err "expected ) after %%lo")
+    | "(" :: rest ->
+        let e, rest = parse_expr rest in
+        (match rest with
+        | ")" :: rest -> (e, rest)
+        | _ -> err "expected )")
+    | "." :: rest -> (Edot, rest)
+    | "-" :: rest ->
+        let e, rest = term rest in
+        (Eneg e, rest)
+    | t :: rest when is_number t -> (
+        match parse_int t with
+        | Some v -> (Enum v, rest)
+        | None -> err "bad number '%s'" t)
+    | t :: rest
+      when String.length t > 0
+           && t.[0] <> ','
+           && t.[0] <> '['
+           && t.[0] <> ']' ->
+        (Esym t, rest)
+    | t :: _ -> err "unexpected token '%s' in expression" t
+    | [] -> err "missing expression"
+  in
+  let lhs, rest = term toks in
+  let rec loop lhs = function
+    | "+" :: rest ->
+        let rhs, rest = term rest in
+        loop (Eadd (lhs, rhs)) rest
+    | "-" :: rest ->
+        let rhs, rest = term rest in
+        loop (Esub (lhs, rhs)) rest
+    | rest -> (lhs, rest)
+  in
+  loop lhs rest
+
+let parse_reg tok =
+  match Regs.of_name tok with
+  | Some r when r < 32 || Regs.is_virtual r -> r
+  | Some r -> err "register %s not usable here" (Regs.name r)
+  | None -> err "expected register, got '%s'" tok
+
+let expect tok = function
+  | t :: rest when t = tok -> rest
+  | t :: _ -> err "expected '%s', got '%s'" tok t
+  | [] -> err "expected '%s' at end of line" tok
+
+(* operand: register or immediate expression *)
+let parse_op2 toks =
+  match toks with
+  | t :: rest when String.length t > 1 && t.[0] = '%' && t <> "%hi" && t <> "%lo"
+    ->
+      (Xreg (parse_reg t), rest)
+  | _ ->
+      let e, rest = parse_expr toks in
+      (Ximm e, rest)
+
+(* memory address: [ reg ( (+|-) (reg|expr) )? ] *)
+let parse_mem_addr toks =
+  let toks = expect "[" toks in
+  match toks with
+  | t :: rest when String.length t > 1 && t.[0] = '%' && t <> "%hi" && t <> "%lo"
+    -> (
+      let rs1 = parse_reg t in
+      match rest with
+      | "]" :: rest -> ((rs1, Ximm (Enum 0)), rest)
+      | "+" :: rest ->
+          let op2, rest = parse_op2 rest in
+          ((rs1, op2), expect "]" rest)
+      | "-" :: rest ->
+          let e, rest = parse_expr rest in
+          ((rs1, Ximm (Eneg e)), expect "]" rest)
+      | t :: _ -> err "bad memory operand near '%s'" t
+      | [] -> err "unterminated memory operand")
+  | _ -> err "memory operand must start with a register"
+
+let branch_conds =
+  [
+    ("ba", Insn.CA); ("bn", Insn.CN); ("bne", Insn.CNE); ("be", Insn.CE);
+    ("bg", Insn.CG); ("ble", Insn.CLE); ("bge", Insn.CGE); ("bl", Insn.CL);
+    ("bgu", Insn.CGU); ("bleu", Insn.CLEU); ("bcc", Insn.CCC);
+    ("bcs", Insn.CCS); ("bpos", Insn.CPOS); ("bneg", Insn.CNEG);
+    ("bvc", Insn.CVC); ("bvs", Insn.CVS); ("b", Insn.CA);
+  ]
+
+let alu_mnems =
+  [
+    ("add", Insn.Add); ("and", Insn.And); ("or", Insn.Or); ("xor", Insn.Xor);
+    ("sub", Insn.Sub); ("andn", Insn.Andn); ("orn", Insn.Orn);
+    ("xnor", Insn.Xnor); ("umul", Insn.Umul); ("smul", Insn.Smul);
+    ("udiv", Insn.Udiv); ("sdiv", Insn.Sdiv); ("addcc", Insn.Addcc);
+    ("andcc", Insn.Andcc); ("orcc", Insn.Orcc); ("xorcc", Insn.Xorcc);
+    ("subcc", Insn.Subcc); ("sll", Insn.Sll); ("srl", Insn.Srl);
+    ("sra", Insn.Sra); ("save", Insn.Save); ("restore", Insn.Restore);
+  ]
+
+let mem_mnems =
+  [
+    ("ld", Insn.Ld); ("ldub", Insn.Ldub); ("lduh", Insn.Lduh);
+    ("ldd", Insn.Ldd); ("st", Insn.St); ("stb", Insn.Stb); ("sth", Insn.Sth);
+    ("std", Insn.Std); ("ldsb", Insn.Ldsb); ("ldsh", Insn.Ldsh);
+  ]
+
+(* Parse one instruction from tokens; returns a list of items (pseudo-ops
+   may expand to several). *)
+let parse_insn mnem toks : item list =
+  let alu op toks =
+    let rs1 = parse_reg (List.nth toks 0) in
+    let toks = expect "," (List.tl toks) in
+    let op2, toks = parse_op2 toks in
+    let toks = expect "," toks in
+    let rd = parse_reg (List.nth toks 0) in
+    if List.tl toks <> [] then err "trailing tokens after instruction";
+    [ I_insn (P_alu (op, rs1, op2, rd)) ]
+  in
+  match (List.assoc_opt mnem alu_mnems, List.assoc_opt mnem mem_mnems) with
+  | Some op, _ -> alu op toks
+  | None, Some op when Insn.mem_is_store op ->
+      let rd = parse_reg (List.hd toks) in
+      let toks = expect "," (List.tl toks) in
+      let (rs1, op2), toks = parse_mem_addr toks in
+      if toks <> [] then err "trailing tokens after store";
+      [ I_insn (P_mem (op, rs1, op2, rd)) ]
+  | None, Some op ->
+      let (rs1, op2), toks = parse_mem_addr toks in
+      let toks = expect "," toks in
+      let rd = parse_reg (List.hd toks) in
+      if List.tl toks <> [] then err "trailing tokens after load";
+      [ I_insn (P_mem (op, rs1, op2, rd)) ]
+  | None, None -> (
+      (* branches, possibly with ,a suffix *)
+      let bmnem, annul, toks' =
+        match toks with
+        | "," :: "a" :: rest when List.mem_assoc mnem branch_conds ->
+            (mnem, true, rest)
+        | _ -> (mnem, false, toks)
+      in
+      match List.assoc_opt bmnem branch_conds with
+      | Some cond ->
+          let e, rest = parse_expr toks' in
+          if rest <> [] then err "trailing tokens after branch target";
+          [ I_insn (P_branch (cond, annul, e)) ]
+      | None -> (
+          match mnem with
+          | "sethi" ->
+              (* [sethi %hi(e), rd] puts bits 31:10 of e in imm22;
+                 [sethi e, rd] treats e as the raw imm22 field value. *)
+              let e, toks = parse_expr toks in
+              let e = match e with Ehi _ -> e | _ -> e in
+              let toks = expect "," toks in
+              let rd = parse_reg (List.hd toks) in
+              if List.tl toks <> [] then err "trailing tokens after sethi";
+              [ I_insn (P_sethi (e, rd)) ]
+          | "call" ->
+              let e, rest = parse_expr toks in
+              if rest <> [] then err "trailing tokens after call";
+              [ I_insn (P_call e) ]
+          | "jmpl" | "jmp" ->
+              let rs1, op2, toks =
+                match toks with
+                | "[" :: _ ->
+                    let (rs1, op2), t = parse_mem_addr toks in
+                    (rs1, op2, t)
+                | t :: rest when String.length t > 1 && t.[0] = '%' -> (
+                    let rs1 = parse_reg t in
+                    match rest with
+                    | "+" :: rest ->
+                        let op2, rest = parse_op2 rest in
+                        (rs1, op2, rest)
+                    | "-" :: rest ->
+                        let e, rest = parse_expr rest in
+                        (rs1, Ximm (Eneg e), rest)
+                    | _ -> (rs1, Ximm (Enum 0), rest))
+                | _ -> err "jmp/jmpl requires a register target"
+              in
+              let rd, toks =
+                if mnem = "jmp" then (Regs.g0, toks)
+                else
+                  let toks = expect "," toks in
+                  (parse_reg (List.hd toks), List.tl toks)
+              in
+              if toks <> [] then err "trailing tokens after jmpl";
+              [ I_insn (P_jmpl (rs1, op2, rd)) ]
+          | "ta" ->
+              let e, rest = parse_expr toks in
+              if rest <> [] then err "trailing tokens after ta";
+              [ I_insn (P_ta e) ]
+          | "unimp" ->
+              let e, rest = parse_expr toks in
+              if rest <> [] then err "trailing tokens after unimp";
+              [ I_insn (P_unimp e) ]
+          | "rd" ->
+              let toks = expect "%y" toks in
+              let toks = expect "," toks in
+              [ I_insn (P_rdy (parse_reg (List.hd toks))) ]
+          | "wr" ->
+              let rs1 = parse_reg (List.hd toks) in
+              let toks = expect "," (List.tl toks) in
+              let op2, toks = parse_op2 toks in
+              let toks = expect "," toks in
+              let _ = expect "%y" toks in
+              [ I_insn (P_wry (rs1, op2)) ]
+          | "nop" -> [ I_insn (P_sethi (Ehi (Enum 0), 0)) ]
+          | "mov" ->
+              let op2, toks = parse_op2 toks in
+              let toks = expect "," toks in
+              let rd = parse_reg (List.hd toks) in
+              [ I_insn (P_alu (Insn.Or, Regs.g0, op2, rd)) ]
+          | "set" ->
+              let e, toks = parse_expr toks in
+              let toks = expect "," toks in
+              let rd = parse_reg (List.hd toks) in
+              [ I_set (e, rd) ]
+          | "cmp" ->
+              let rs1 = parse_reg (List.hd toks) in
+              let toks = expect "," (List.tl toks) in
+              let op2, toks = parse_op2 toks in
+              if toks <> [] then err "trailing tokens after cmp";
+              [ I_insn (P_alu (Insn.Subcc, rs1, op2, Regs.g0)) ]
+          | "tst" ->
+              let rs1 = parse_reg (List.hd toks) in
+              [ I_insn (P_alu (Insn.Orcc, rs1, Xreg Regs.g0, Regs.g0)) ]
+          | "clr" ->
+              let rd = parse_reg (List.hd toks) in
+              [ I_insn (P_alu (Insn.Or, Regs.g0, Xreg Regs.g0, rd)) ]
+          | "ret" ->
+              [ I_insn (P_jmpl (Regs.i7, Ximm (Enum 8), Regs.g0)) ]
+          | "retl" ->
+              [ I_insn (P_jmpl (Regs.o7, Ximm (Enum 8), Regs.g0)) ]
+          | _ -> err "unknown mnemonic '%s'" mnem))
+
+(* ------------------------------------------------------------------ *)
+(* Line-level parsing                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type parsed_line = {
+  pl_labels : string list;
+  pl_items : item list;
+  pl_dirs : sym_directive list;
+  pl_sec_switch : int option;
+}
+
+let sym_kind_of_string = function
+  | "func" -> Sef.Func
+  | "object" -> Sef.Object
+  | "label" -> Sef.Label
+  | "debug" -> Sef.Debug
+  | s -> err "unknown symbol kind '%s'" s
+
+(* Parse a string literal for .ascii/.asciz out of the raw line text. *)
+let parse_string_lit raw =
+  match String.index_opt raw '"' with
+  | None -> err ".ascii requires a string literal"
+  | Some i ->
+      let buf = Buffer.create 16 in
+      let n = String.length raw in
+      let rec go j =
+        if j >= n then err "unterminated string literal"
+        else
+          match raw.[j] with
+          | '"' -> ()
+          | '\\' when j + 1 < n ->
+              (match raw.[j + 1] with
+              | 'n' -> Buffer.add_char buf '\n'
+              | 't' -> Buffer.add_char buf '\t'
+              | '0' -> Buffer.add_char buf '\000'
+              | c -> Buffer.add_char buf c);
+              go (j + 2)
+          | c ->
+              Buffer.add_char buf c;
+              go (j + 1)
+      in
+      go (i + 1);
+      Buffer.contents buf
+
+let rec parse_expr_list toks =
+  let e, rest = parse_expr toks in
+  match rest with
+  | "," :: rest ->
+      let es, rest = parse_expr_list rest in
+      (e :: es, rest)
+  | _ -> ([ e ], rest)
+
+let parse_line raw : parsed_line =
+  let toks = tokenize raw in
+  (* leading labels *)
+  let rec strip_labels acc = function
+    | name :: ":" :: rest
+      when String.length name > 0 && name.[0] <> '.' && name.[0] <> '%' ->
+        strip_labels (name :: acc) rest
+    | rest -> (List.rev acc, rest)
+  in
+  let labels, toks = strip_labels [] toks in
+  let nothing = { pl_labels = labels; pl_items = []; pl_dirs = []; pl_sec_switch = None } in
+  match toks with
+  | [] -> nothing
+  | d :: rest when String.length d > 1 && d.[0] = '.' -> (
+      match (d, rest) with
+      | ".text", [] -> { nothing with pl_sec_switch = Some 0 }
+      | ".data", [] -> { nothing with pl_sec_switch = Some 1 }
+      | ".bss", [] -> { nothing with pl_sec_switch = Some 2 }
+      | ".global", [ n ] -> { nothing with pl_dirs = [ D_global n ] }
+      | ".nosym", [ n ] -> { nothing with pl_dirs = [ D_nosym n ] }
+      | ".labelsym", [ n ] -> { nothing with pl_dirs = [ D_labelsym n ] }
+      | ".debugsym", [ n ] -> { nothing with pl_dirs = [ D_debugsym n ] }
+      | ".entry", [ n ] -> { nothing with pl_dirs = [ D_entry n ] }
+      | ".symat", n :: rest ->
+          let e, rest = parse_expr rest in
+          let kind =
+            match rest with
+            | [ k ] -> sym_kind_of_string k
+            | [] -> Sef.Func
+            | _ -> err "bad .symat"
+          in
+          { nothing with pl_dirs = [ D_symat (n, e, kind) ] }
+      | ".word", _ ->
+          let es, rest = parse_expr_list rest in
+          if rest <> [] then err "trailing tokens after .word";
+          { nothing with pl_items = [ I_word es ] }
+      | ".half", _ ->
+          let es, _ = parse_expr_list rest in
+          { nothing with pl_items = [ I_half es ] }
+      | ".byte", _ ->
+          let es, _ = parse_expr_list rest in
+          { nothing with pl_items = [ I_byte es ] }
+      | ".ascii", _ -> { nothing with pl_items = [ I_ascii (parse_string_lit raw) ] }
+      | ".asciz", _ ->
+          { nothing with pl_items = [ I_ascii (parse_string_lit raw ^ "\000") ] }
+      | ".align", [ n ] -> (
+          match parse_int n with
+          | Some v when v > 0 -> { nothing with pl_items = [ I_align v ] }
+          | _ -> err "bad .align")
+      | ".space", [ n ] -> (
+          match parse_int n with
+          | Some v when v >= 0 -> { nothing with pl_items = [ I_space v ] }
+          | _ -> err "bad .space")
+      | _ -> err "unknown or malformed directive '%s'" d)
+  | mnem :: rest -> { nothing with pl_items = parse_insn mnem rest }
+
+(* ------------------------------------------------------------------ *)
+(* Encoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type enc_ctx = {
+  mutable e_env : env;
+  mutable e_index : int;  (* word index within a snippet *)
+  e_snippet : bool;
+  mutable e_vuses : Eel_arch.Template.vreg_use list;
+  mutable e_relocs : Eel_arch.Template.reloc list;
+}
+
+(* Substitute a possibly-virtual register for encoding, recording the
+   bit-field use for later patching. *)
+let enc_reg ctx ~lo ~hi r =
+  if Regs.is_virtual r then
+    if not ctx.e_snippet then err "virtual register %s outside a snippet" (Regs.name r)
+    else (
+      ctx.e_vuses <-
+        { Eel_arch.Template.index = ctx.e_index; lo; hi; vreg = r - Regs.v0 }
+        :: ctx.e_vuses;
+      0)
+  else r
+
+let enc_op2 ctx = function
+  | Xreg r -> Insn.O_reg (enc_reg ctx ~lo:0 ~hi:4 r)
+  | Ximm e ->
+      let v = eval ctx.e_env e in
+      if not (Word.fits_signed 13 v) then
+        err "immediate %d does not fit in simm13" v;
+      Insn.O_imm v
+
+(* Encode one pre-instruction at [pc] (absolute address, or snippet offset
+   when ctx.e_snippet). *)
+let encode_pre ctx ~pc pre =
+  let env = ctx.e_env in
+  let cti_target e =
+    (* Returns `Rel disp (bytes) or `Abs target for snippet relocs. *)
+    env.used_label <- false;
+    let v = eval env e in
+    if ctx.e_snippet && not env.used_label then `Abs v
+    else (
+      let disp = v - pc in
+      if disp land 3 <> 0 then err "misaligned control-transfer target 0x%x" v;
+      `Rel disp)
+  in
+  match pre with
+  | P_alu (op, rs1, op2, rd) ->
+      let rs1 = enc_reg ctx ~lo:14 ~hi:18 rs1 in
+      let op2 = enc_op2 ctx op2 in
+      let rd = enc_reg ctx ~lo:25 ~hi:29 rd in
+      Insn.encode (Insn.Alu { op; rs1; op2; rd })
+  | P_sethi (e, rd) ->
+      let rd = enc_reg ctx ~lo:25 ~hi:29 rd in
+      let imm22 =
+        match e with
+        | Ehi _ -> eval env e
+        | _ ->
+            let v = eval env e in
+            if v < 0 || v > 0x3FFFFF then err "sethi immediate out of range";
+            v
+      in
+      Insn.encode (Insn.Sethi { rd; imm22 })
+  | P_mem (op, rs1, op2, rd) ->
+      let rs1 = enc_reg ctx ~lo:14 ~hi:18 rs1 in
+      let op2 = enc_op2 ctx op2 in
+      let rd = enc_reg ctx ~lo:25 ~hi:29 rd in
+      Insn.encode (Insn.Mem { op; rs1; op2; rd })
+  | P_branch (cond, annul, e) -> (
+      match cti_target e with
+      | `Rel disp ->
+          if not (Word.fits_signed 22 (disp asr 2)) then
+            err "branch displacement %d out of range" disp;
+          Insn.encode (Insn.Bicc { cond; annul; disp22 = disp asr 2 })
+      | `Abs target ->
+          ctx.e_relocs <-
+            { Eel_arch.Template.index = ctx.e_index; target } :: ctx.e_relocs;
+          Insn.encode (Insn.Bicc { cond; annul; disp22 = 0 }))
+  | P_call e -> (
+      match cti_target e with
+      | `Rel disp -> Insn.encode (Insn.Call { disp30 = disp asr 2 })
+      | `Abs target ->
+          ctx.e_relocs <-
+            { Eel_arch.Template.index = ctx.e_index; target } :: ctx.e_relocs;
+          Insn.encode (Insn.Call { disp30 = 0 }))
+  | P_jmpl (rs1, op2, rd) ->
+      let rs1 = enc_reg ctx ~lo:14 ~hi:18 rs1 in
+      let op2 = enc_op2 ctx op2 in
+      let rd = enc_reg ctx ~lo:25 ~hi:29 rd in
+      Insn.encode (Insn.Jmpl { rs1; op2; rd })
+  | P_ta e ->
+      let v = eval env e in
+      Insn.encode (Insn.Ticc { cond = Insn.CA; rs1 = 0; op2 = Insn.O_imm v })
+  | P_unimp e -> Insn.encode (Insn.Unimp (eval env e))
+  | P_rdy rd -> Insn.encode (Insn.Rdy { rd = enc_reg ctx ~lo:25 ~hi:29 rd })
+  | P_wry (rs1, op2) ->
+      let rs1 = enc_reg ctx ~lo:14 ~hi:18 rs1 in
+      let op2 = enc_op2 ctx op2 in
+      Insn.encode (Insn.Wry { rs1; op2 })
+
+(* ------------------------------------------------------------------ *)
+(* Program assembly                                                    *)
+(* ------------------------------------------------------------------ *)
+(* ------------------------------------------------------------------ *)
+
+let align_up v a = (v + a - 1) / a * a
+
+let default_text_base = 0x10000
+
+type src_line = {
+  sl_sec : int;
+  sl_labels : string list;
+  sl_items : item list;
+  sl_dirs : sym_directive list;
+  sl_no : int;
+}
+
+let parse_lines source =
+  let cur = ref 0 in
+  let out = ref [] in
+  List.iteri
+    (fun i raw ->
+      let pl =
+        try parse_line raw
+        with Error m -> err "line %d: %s" (i + 1) m
+      in
+      (match pl.pl_sec_switch with Some s -> cur := s | None -> ());
+      out :=
+        {
+          sl_sec = !cur;
+          sl_labels = pl.pl_labels;
+          sl_items = pl.pl_items;
+          sl_dirs = pl.pl_dirs;
+          sl_no = i + 1;
+        }
+        :: !out)
+    (String.split_on_char '\n' source);
+  List.rev !out
+
+(* Layout: assign a (section, offset) to every label and item. *)
+type placed = { p_sec : int; p_off : int; p_item : item; p_no : int }
+
+let layout lines =
+  let off = [| 0; 0; 0 |] in
+  let labels : (string, int * int) Hashtbl.t = Hashtbl.create 64 in
+  let label_order = ref [] in
+  let placed = ref [] in
+  List.iter
+    (fun sl ->
+      List.iter
+        (fun l ->
+          if Hashtbl.mem labels l then err "line %d: duplicate label '%s'" sl.sl_no l;
+          Hashtbl.add labels l (sl.sl_sec, off.(sl.sl_sec));
+          label_order := l :: !label_order)
+        sl.sl_labels;
+      List.iter
+        (fun item ->
+          (match item with
+          | I_align a -> off.(sl.sl_sec) <- align_up off.(sl.sl_sec) a
+          | _ -> ());
+          placed :=
+            { p_sec = sl.sl_sec; p_off = off.(sl.sl_sec); p_item = item; p_no = sl.sl_no }
+            :: !placed;
+          match item with
+          | I_align _ -> ()
+          | it -> off.(sl.sl_sec) <- off.(sl.sl_sec) + item_size it)
+        sl.sl_items)
+    lines;
+  (List.rev !placed, labels, List.rev !label_order, off)
+
+let assemble ?(text_base = default_text_base) source : (Sef.t, string) result =
+  try
+    let lines = parse_lines source in
+    let placed, labels, label_order, sizes = layout lines in
+    let text_size = align_up sizes.(0) 4 in
+    let data_size = align_up sizes.(1) 4 in
+    let bss_size = align_up sizes.(2) 8 in
+    let data_base = align_up (text_base + text_size) 0x1000 in
+    let bss_base = align_up (data_base + data_size) 8 in
+    let base = function 0 -> text_base | 1 -> data_base | _ -> bss_base in
+    let label_addr l =
+      match Hashtbl.find_opt labels l with
+      | Some (sec, off) -> Some (base sec + off)
+      | None -> None
+    in
+    let env =
+      {
+        lookup = label_addr;
+        dot = 0;
+        used_label = false;
+        is_label = (fun l -> Hashtbl.mem labels l);
+      }
+    in
+    let ctx =
+      { e_env = env; e_index = 0; e_snippet = false; e_vuses = []; e_relocs = [] }
+    in
+    let text = Bytes.make text_size '\000' in
+    let data = Bytes.make data_size '\000' in
+    let buf_of = function 0 -> Some text | 1 -> Some data | _ -> None in
+    List.iter
+      (fun p ->
+        let addr = base p.p_sec + p.p_off in
+        let env = { env with dot = addr } in
+        ctx.e_env <- env;
+        match buf_of p.p_sec with
+        | None -> (
+            (* bss: only reservations allowed *)
+            match p.p_item with
+            | I_space _ | I_align _ -> ()
+            | _ -> err "line %d: contents not allowed in .bss" p.p_no)
+        | Some buf -> (
+            try
+              match p.p_item with
+              | I_insn pre ->
+                  Bytebuf.set32_be buf p.p_off (encode_pre ctx ~pc:addr pre)
+              | I_set (e, rd) ->
+                  let v = Word.mask (eval env e) in
+                  Bytebuf.set32_be buf p.p_off
+                    (Insn.encode (Insn.Sethi { rd; imm22 = v lsr 10 }));
+                  Bytebuf.set32_be buf (p.p_off + 4)
+                    (Insn.encode
+                       (Insn.Alu
+                          { op = Insn.Or; rs1 = rd; op2 = Insn.O_imm (v land 0x3FF); rd }))
+              | I_word es ->
+                  List.iteri
+                    (fun i e ->
+                      Bytebuf.set32_be buf (p.p_off + (4 * i)) (Word.mask (eval env e)))
+                    es
+              | I_half es ->
+                  List.iteri
+                    (fun i e ->
+                      let v = eval env e land 0xFFFF in
+                      Bytes.set buf (p.p_off + (2 * i)) (Char.chr (v lsr 8));
+                      Bytes.set buf (p.p_off + (2 * i) + 1) (Char.chr (v land 0xFF)))
+                    es
+              | I_byte es ->
+                  List.iteri
+                    (fun i e -> Bytes.set buf (p.p_off + i) (Char.chr (eval env e land 0xFF)))
+                    es
+              | I_ascii s -> Bytes.blit_string s 0 buf p.p_off (String.length s)
+              | I_align _ | I_space _ -> ()
+            with
+            | Error m -> err "line %d: %s" p.p_no m
+            | Insn.Encode_error m -> err "line %d: %s" p.p_no m))
+      placed;
+    (* Directives *)
+    let globals = Hashtbl.create 8 in
+    let nosyms = Hashtbl.create 8 in
+    let labelsyms = Hashtbl.create 8 in
+    let extra_syms = ref [] in
+    let entry_name = ref None in
+    List.iter
+      (fun sl ->
+        List.iter
+          (fun d ->
+            match d with
+            | D_global n -> Hashtbl.replace globals n ()
+            | D_nosym n -> Hashtbl.replace nosyms n ()
+            | D_labelsym n -> Hashtbl.replace labelsyms n ()
+            | D_debugsym n -> (
+                match label_addr n with
+                | Some a ->
+                    extra_syms :=
+                      { Sef.sym_name = n; value = a; sym_size = 0; kind = Sef.Debug; global = false }
+                      :: !extra_syms
+                | None -> err "line %d: .debugsym of unknown label '%s'" sl.sl_no n)
+            | D_symat (n, e, kind) ->
+                let env = { env with dot = 0 } in
+                extra_syms :=
+                  { Sef.sym_name = n; value = Word.mask (eval env e); sym_size = 0; kind; global = false }
+                  :: !extra_syms
+            | D_entry n -> entry_name := Some n)
+          sl.sl_dirs)
+      lines;
+    let is_local l = String.length l > 0 && (l.[0] = 'L' || l.[0] = '.') in
+    let symbols =
+      List.filter_map
+        (fun l ->
+          if is_local l || Hashtbl.mem nosyms l then None
+          else
+            match Hashtbl.find_opt labels l with
+            | None -> None
+            | Some (sec, off) ->
+                let kind =
+                  if Hashtbl.mem labelsyms l then Sef.Label
+                  else if sec = 0 then Sef.Func
+                  else Sef.Object
+                in
+                Some
+                  {
+                    Sef.sym_name = l;
+                    value = base sec + off;
+                    sym_size = 0;
+                    kind;
+                    global = Hashtbl.mem globals l;
+                  })
+        label_order
+      @ List.rev !extra_syms
+    in
+    let entry =
+      match !entry_name with
+      | Some n -> (
+          match label_addr n with
+          | Some a -> a
+          | None -> err ".entry names unknown label '%s'" n)
+      | None -> (
+          match (label_addr "start", label_addr "main") with
+          | Some a, _ -> a
+          | None, Some a -> a
+          | None, None -> text_base)
+    in
+    let sections =
+      [
+        { Sef.sec_name = ".text"; sec_kind = Sef.Text; vaddr = text_base; size = text_size; contents = text };
+        { Sef.sec_name = ".data"; sec_kind = Sef.Data; vaddr = data_base; size = data_size; contents = data };
+      ]
+      @
+      if bss_size > 0 then
+        [ { Sef.sec_name = ".bss"; sec_kind = Sef.Bss; vaddr = bss_base; size = bss_size; contents = Bytes.empty } ]
+      else []
+    in
+    Ok (Sef.create ~entry ~sections ~symbols)
+  with Error m -> Result.Error m
+
+(* ------------------------------------------------------------------ *)
+(* Snippet assembly                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(** [parse_snippet ~params source] assembles a label-relative instruction
+    sequence into a {!Eel_arch.Template.t}. [$name] parameters come from
+    [params]; [%v0]–[%v7] become virtual-register uses; control transfers to
+    absolute (parameter) targets become relocations. *)
+let parse_snippet ?(params = []) source : (Eel_arch.Template.t, string) result =
+  try
+    let lines = parse_lines source in
+    List.iter
+      (fun sl ->
+        if sl.sl_dirs <> [] || sl.sl_sec <> 0 then
+          err "line %d: directives are not allowed in snippets" sl.sl_no;
+        List.iter
+          (fun it ->
+            match it with
+            | I_insn _ | I_set _ -> ()
+            | _ -> err "line %d: only instructions are allowed in snippets" sl.sl_no)
+          sl.sl_items)
+      lines;
+    let placed, labels, _order, sizes = layout lines in
+    let nwords = sizes.(0) / 4 in
+    let words = Array.make nwords 0 in
+    let lookup s =
+      if String.length s > 0 && s.[0] = '$' then
+        List.assoc_opt (String.sub s 1 (String.length s - 1)) params
+      else
+        match Hashtbl.find_opt labels s with
+        | Some (_, off) -> Some off
+        | None -> None
+    in
+    let env =
+      { lookup; dot = 0; used_label = false; is_label = (fun l -> Hashtbl.mem labels l) }
+    in
+    let ctx = { e_env = env; e_index = 0; e_snippet = true; e_vuses = []; e_relocs = [] } in
+    List.iter
+      (fun p ->
+        let env = { env with dot = p.p_off } in
+        ctx.e_env <- env;
+        try
+          match p.p_item with
+          | I_insn pre ->
+              ctx.e_index <- p.p_off / 4;
+              words.(p.p_off / 4) <- encode_pre ctx ~pc:p.p_off pre
+          | I_set (e, rd) ->
+              let idx = p.p_off / 4 in
+              let v = Word.mask (eval env e) in
+              ctx.e_index <- idx;
+              let rd1 = enc_reg ctx ~lo:25 ~hi:29 rd in
+              words.(idx) <- Insn.encode (Insn.Sethi { rd = rd1; imm22 = v lsr 10 });
+              ctx.e_index <- idx + 1;
+              let rs1 = enc_reg ctx ~lo:14 ~hi:18 rd in
+              let rd2 = enc_reg ctx ~lo:25 ~hi:29 rd in
+              words.(idx + 1) <-
+                Insn.encode
+                  (Insn.Alu
+                     { op = Insn.Or; rs1; op2 = Insn.O_imm (v land 0x3FF); rd = rd2 })
+          | _ -> assert false
+        with
+        | Error m -> err "line %d: %s" p.p_no m
+        | Insn.Encode_error m -> err "line %d: %s" p.p_no m)
+      placed;
+    Ok { Eel_arch.Template.words; vuses = List.rev ctx.e_vuses; relocs = List.rev ctx.e_relocs }
+  with Error m -> Result.Error m

@@ -1,0 +1,492 @@
+(** Structured SPARC V8 (integer subset) instructions: decode and encode.
+
+    The encodings are the real SPARC V8 ones (formats 1, 2 and 3). The
+    subset covers everything EEL's algorithms stress: delayed branches with
+    annul bits, [sethi]-based constant construction, [call]/[jmpl] control
+    transfers, the full integer ALU, loads/stores of all widths, and [ticc]
+    traps used for system calls. Floating-point and coprocessor encodings
+    decode as {!Invalid}, which EEL exploits to distinguish data from code.
+
+    The decoder is {e strict}: reserved fields must be zero. Strictness makes
+    random data words overwhelmingly likely to decode as {!Invalid}, which is
+    what gives symbol-table refinement (paper §3.1) its discriminating
+    power. *)
+
+open Eel_util
+
+type cond =
+  | CN  (** never *)
+  | CE
+  | CLE
+  | CL
+  | CLEU
+  | CCS
+  | CNEG
+  | CVS
+  | CA  (** always *)
+  | CNE
+  | CG
+  | CGE
+  | CGU
+  | CCC
+  | CPOS
+  | CVC
+
+let cond_code = function
+  | CN -> 0
+  | CE -> 1
+  | CLE -> 2
+  | CL -> 3
+  | CLEU -> 4
+  | CCS -> 5
+  | CNEG -> 6
+  | CVS -> 7
+  | CA -> 8
+  | CNE -> 9
+  | CG -> 10
+  | CGE -> 11
+  | CGU -> 12
+  | CCC -> 13
+  | CPOS -> 14
+  | CVC -> 15
+
+let cond_of_code = function
+  | 0 -> CN
+  | 1 -> CE
+  | 2 -> CLE
+  | 3 -> CL
+  | 4 -> CLEU
+  | 5 -> CCS
+  | 6 -> CNEG
+  | 7 -> CVS
+  | 8 -> CA
+  | 9 -> CNE
+  | 10 -> CG
+  | 11 -> CGE
+  | 12 -> CGU
+  | 13 -> CCC
+  | 14 -> CPOS
+  | _ -> CVC
+
+let cond_name = function
+  | CN -> "n"
+  | CE -> "e"
+  | CLE -> "le"
+  | CL -> "l"
+  | CLEU -> "leu"
+  | CCS -> "cs"
+  | CNEG -> "neg"
+  | CVS -> "vs"
+  | CA -> "a"
+  | CNE -> "ne"
+  | CG -> "g"
+  | CGE -> "ge"
+  | CGU -> "gu"
+  | CCC -> "cc"
+  | CPOS -> "pos"
+  | CVC -> "vc"
+
+(** [cond_eval c icc] evaluates branch condition [c] against the condition
+    codes value (N=bit3, Z=bit2, V=bit1, C=bit0). *)
+let cond_eval c icc =
+  let n = icc land 8 <> 0
+  and z = icc land 4 <> 0
+  and v = icc land 2 <> 0
+  and cf = icc land 1 <> 0 in
+  let xor a b = (a || b) && not (a && b) in
+  match c with
+  | CA -> true
+  | CN -> false
+  | CE -> z
+  | CNE -> not z
+  | CG -> not (z || xor n v)
+  | CLE -> z || xor n v
+  | CGE -> not (xor n v)
+  | CL -> xor n v
+  | CGU -> not (cf || z)
+  | CLEU -> cf || z
+  | CCC -> not cf
+  | CCS -> cf
+  | CPOS -> not n
+  | CNEG -> n
+  | CVC -> not v
+  | CVS -> v
+
+type alu =
+  | Add
+  | And
+  | Or
+  | Xor
+  | Sub
+  | Andn
+  | Orn
+  | Xnor
+  | Umul
+  | Smul
+  | Udiv
+  | Sdiv
+  | Addcc
+  | Andcc
+  | Orcc
+  | Xorcc
+  | Subcc
+  | Sll
+  | Srl
+  | Sra
+  | Save
+  | Restore
+
+let alu_op3 = function
+  | Add -> 0x00
+  | And -> 0x01
+  | Or -> 0x02
+  | Xor -> 0x03
+  | Sub -> 0x04
+  | Andn -> 0x05
+  | Orn -> 0x06
+  | Xnor -> 0x07
+  | Umul -> 0x0a
+  | Smul -> 0x0b
+  | Udiv -> 0x0e
+  | Sdiv -> 0x0f
+  | Addcc -> 0x10
+  | Andcc -> 0x11
+  | Orcc -> 0x12
+  | Xorcc -> 0x13
+  | Subcc -> 0x14
+  | Sll -> 0x25
+  | Srl -> 0x26
+  | Sra -> 0x27
+  | Save -> 0x3c
+  | Restore -> 0x3d
+
+let alu_of_op3 = function
+  | 0x00 -> Some Add
+  | 0x01 -> Some And
+  | 0x02 -> Some Or
+  | 0x03 -> Some Xor
+  | 0x04 -> Some Sub
+  | 0x05 -> Some Andn
+  | 0x06 -> Some Orn
+  | 0x07 -> Some Xnor
+  | 0x0a -> Some Umul
+  | 0x0b -> Some Smul
+  | 0x0e -> Some Udiv
+  | 0x0f -> Some Sdiv
+  | 0x10 -> Some Addcc
+  | 0x11 -> Some Andcc
+  | 0x12 -> Some Orcc
+  | 0x13 -> Some Xorcc
+  | 0x14 -> Some Subcc
+  | 0x25 -> Some Sll
+  | 0x26 -> Some Srl
+  | 0x27 -> Some Sra
+  | 0x3c -> Some Save
+  | 0x3d -> Some Restore
+  | _ -> None
+
+let alu_name = function
+  | Add -> "add"
+  | And -> "and"
+  | Or -> "or"
+  | Xor -> "xor"
+  | Sub -> "sub"
+  | Andn -> "andn"
+  | Orn -> "orn"
+  | Xnor -> "xnor"
+  | Umul -> "umul"
+  | Smul -> "smul"
+  | Udiv -> "udiv"
+  | Sdiv -> "sdiv"
+  | Addcc -> "addcc"
+  | Andcc -> "andcc"
+  | Orcc -> "orcc"
+  | Xorcc -> "xorcc"
+  | Subcc -> "subcc"
+  | Sll -> "sll"
+  | Srl -> "srl"
+  | Sra -> "sra"
+  | Save -> "save"
+  | Restore -> "restore"
+
+(** Does this ALU op write the integer condition codes? *)
+let alu_sets_cc = function
+  | Addcc | Andcc | Orcc | Xorcc | Subcc -> true
+  | _ -> false
+
+type mem =
+  | Ld
+  | Ldub
+  | Lduh
+  | Ldd
+  | St
+  | Stb
+  | Sth
+  | Std
+  | Ldsb
+  | Ldsh
+
+let mem_op3 = function
+  | Ld -> 0x00
+  | Ldub -> 0x01
+  | Lduh -> 0x02
+  | Ldd -> 0x03
+  | St -> 0x04
+  | Stb -> 0x05
+  | Sth -> 0x06
+  | Std -> 0x07
+  | Ldsb -> 0x09
+  | Ldsh -> 0x0a
+
+let mem_of_op3 = function
+  | 0x00 -> Some Ld
+  | 0x01 -> Some Ldub
+  | 0x02 -> Some Lduh
+  | 0x03 -> Some Ldd
+  | 0x04 -> Some St
+  | 0x05 -> Some Stb
+  | 0x06 -> Some Sth
+  | 0x07 -> Some Std
+  | 0x09 -> Some Ldsb
+  | 0x0a -> Some Ldsh
+  | _ -> None
+
+let mem_name = function
+  | Ld -> "ld"
+  | Ldub -> "ldub"
+  | Lduh -> "lduh"
+  | Ldd -> "ldd"
+  | St -> "st"
+  | Stb -> "stb"
+  | Sth -> "sth"
+  | Std -> "std"
+  | Ldsb -> "ldsb"
+  | Ldsh -> "ldsh"
+
+let mem_is_store = function St | Stb | Sth | Std -> true | _ -> false
+
+let mem_width = function
+  | Ldub | Ldsb | Stb -> 1
+  | Lduh | Ldsh | Sth -> 2
+  | Ld | St -> 4
+  | Ldd | Std -> 8
+
+type operand = Eel_arch.Instr.operand = O_reg of int | O_imm of int
+
+type t =
+  | Sethi of { rd : int; imm22 : int }
+  | Unimp of int
+  | Bicc of { cond : cond; annul : bool; disp22 : int }
+      (** [disp22] is the signed {e word} displacement from the branch pc *)
+  | Call of { disp30 : int }  (** signed word displacement *)
+  | Alu of { op : alu; rs1 : int; op2 : operand; rd : int }
+  | Jmpl of { rs1 : int; op2 : operand; rd : int }
+  | Ticc of { cond : cond; rs1 : int; op2 : operand }
+  | Rdy of { rd : int }
+  | Wry of { rs1 : int; op2 : operand }
+  | Mem of { op : mem; rs1 : int; op2 : operand; rd : int }
+  | Invalid of int  (** raw word that does not decode *)
+
+(** The canonical no-op: [sethi 0, %g0]. *)
+let nop = Sethi { rd = 0; imm22 = 0 }
+
+(** {1 Decoding} *)
+
+(** Strict operand decode: returns [None] when reserved asi bits are set. *)
+let decode_op2_strict word =
+  if Word.bits ~lo:13 ~hi:13 word = 1 then Some (O_imm (Word.sext 13 word))
+  else if Word.bits ~lo:5 ~hi:12 word <> 0 then None
+  else Some (O_reg (Word.bits ~lo:0 ~hi:4 word))
+
+let decode word =
+  let word = Word.mask word in
+  let op = Word.bits ~lo:30 ~hi:31 word in
+  let rd = Word.bits ~lo:25 ~hi:29 word in
+  let rs1 = Word.bits ~lo:14 ~hi:18 word in
+  let invalid = Invalid word in
+  match op with
+  | 0b01 -> Call { disp30 = Word.sext 30 word }
+  | 0b00 -> (
+      let op2 = Word.bits ~lo:22 ~hi:24 word in
+      match op2 with
+      | 0b100 -> Sethi { rd; imm22 = Word.bits ~lo:0 ~hi:21 word }
+      | 0b010 ->
+          let annul = Word.bits ~lo:29 ~hi:29 word = 1 in
+          let cond = cond_of_code (Word.bits ~lo:25 ~hi:28 word) in
+          Bicc { cond; annul; disp22 = Word.sext 22 word }
+      | 0b000 ->
+          (* UNIMP: reserved rd/a bits must be zero to count as the
+             canonical unimplemented encoding *)
+          if Word.bits ~lo:22 ~hi:29 word = 0 then
+            Unimp (Word.bits ~lo:0 ~hi:21 word)
+          else invalid
+      | _ -> invalid)
+  | 0b10 -> (
+      let op3 = Word.bits ~lo:19 ~hi:24 word in
+      match decode_op2_strict word with
+      | None -> invalid
+      | Some op2 -> (
+          match op3 with
+          | 0x38 -> Jmpl { rs1; op2; rd }
+          | 0x3a ->
+              (* Ticc: bit 29 reserved; software trap numbers are 7 bits *)
+              if Word.bits ~lo:29 ~hi:29 word <> 0 then invalid
+              else
+                let ok =
+                  match op2 with O_imm i -> i >= 0 && i < 128 | O_reg _ -> true
+                in
+                if ok then
+                  Ticc
+                    { cond = cond_of_code (Word.bits ~lo:25 ~hi:28 word); rs1; op2 }
+                else invalid
+          | 0x28 ->
+              (* RDY: rs1 must be 0 *)
+              if rs1 = 0 && op2 = O_reg 0 then Rdy { rd } else invalid
+          | 0x30 ->
+              (* WRY: rd must be 0 *)
+              if rd = 0 then Wry { rs1; op2 } else invalid
+          | _ -> (
+              match alu_of_op3 op3 with
+              | Some aop -> (
+                  (* shifts use only 5 immediate bits; reserved bits 12:5
+                     must be zero when i=1 *)
+                  match aop with
+                  | Sll | Srl | Sra -> (
+                      match op2 with
+                      | O_imm i when i >= 0 && i < 32 ->
+                          Alu { op = aop; rs1; op2; rd }
+                      | O_imm _ -> invalid
+                      | O_reg _ -> Alu { op = aop; rs1; op2; rd })
+                  | _ -> Alu { op = aop; rs1; op2; rd })
+              | None -> invalid)))
+  | _ -> (
+      (* op = 0b11: memory *)
+      let op3 = Word.bits ~lo:19 ~hi:24 word in
+      match (mem_of_op3 op3, decode_op2_strict word) with
+      | Some mop, Some op2 ->
+          (* ldd/std require even rd *)
+          if (mop = Ldd || mop = Std) && rd land 1 = 1 then invalid
+          else Mem { op = mop; rs1; op2; rd }
+      | _ -> invalid)
+
+(** {1 Encoding} *)
+
+exception Encode_error of string
+
+let check_reg r =
+  if r < 0 || r > 31 then
+    raise (Encode_error (Printf.sprintf "register %s cannot be encoded" (Regs.name r)))
+
+let enc_op2 word = function
+  | O_imm i ->
+      if not (Word.fits_signed 13 i) then
+        raise (Encode_error (Printf.sprintf "immediate %d does not fit simm13" i));
+      word lor (1 lsl 13) lor Word.zext 13 i
+  | O_reg r ->
+      check_reg r;
+      word lor r
+
+let encode = function
+  | Sethi { rd; imm22 } ->
+      check_reg rd;
+      (0b00 lsl 30) lor (rd lsl 25) lor (0b100 lsl 22) lor Word.zext 22 imm22
+  | Unimp i -> Word.zext 22 i
+  | Bicc { cond; annul; disp22 } ->
+      if not (Word.fits_signed 22 disp22) then
+        raise (Encode_error (Printf.sprintf "branch displacement %d out of range" disp22));
+      ((if annul then 1 else 0) lsl 29)
+      lor (cond_code cond lsl 25)
+      lor (0b010 lsl 22)
+      lor Word.zext 22 disp22
+  | Call { disp30 } -> (0b01 lsl 30) lor Word.zext 30 disp30
+  | Alu { op; rs1; op2; rd } ->
+      check_reg rs1;
+      check_reg rd;
+      enc_op2
+        ((0b10 lsl 30) lor (rd lsl 25) lor (alu_op3 op lsl 19) lor (rs1 lsl 14))
+        op2
+  | Jmpl { rs1; op2; rd } ->
+      check_reg rs1;
+      check_reg rd;
+      enc_op2 ((0b10 lsl 30) lor (rd lsl 25) lor (0x38 lsl 19) lor (rs1 lsl 14)) op2
+  | Ticc { cond; rs1; op2 } ->
+      check_reg rs1;
+      enc_op2
+        ((0b10 lsl 30) lor (cond_code cond lsl 25) lor (0x3a lsl 19) lor (rs1 lsl 14))
+        op2
+  | Rdy { rd } ->
+      check_reg rd;
+      (0b10 lsl 30) lor (rd lsl 25) lor (0x28 lsl 19)
+  | Wry { rs1; op2 } ->
+      check_reg rs1;
+      enc_op2 ((0b10 lsl 30) lor (0x30 lsl 19) lor (rs1 lsl 14)) op2
+  | Mem { op; rs1; op2; rd } ->
+      check_reg rs1;
+      check_reg rd;
+      enc_op2
+        ((0b11 lsl 30) lor (rd lsl 25) lor (mem_op3 op lsl 19) lor (rs1 lsl 14))
+        op2
+  | Invalid w -> Word.mask w
+
+let is_valid_word w = match decode w with Invalid _ | Unimp _ -> false | _ -> true
+
+(** {1 Pretty printing (disassembly)} *)
+
+let pp_operand fmt = function
+  | O_reg r -> Format.fprintf fmt "%s" (Regs.name r)
+  | O_imm i -> Format.fprintf fmt "%d" i
+
+let pp_addr_operand fmt (rs1, op2) =
+  match op2 with
+  | O_reg 0 -> Format.fprintf fmt "[%s]" (Regs.name rs1)
+  | O_imm 0 -> Format.fprintf fmt "[%s]" (Regs.name rs1)
+  | O_reg r -> Format.fprintf fmt "[%s + %s]" (Regs.name rs1) (Regs.name r)
+  | O_imm i when i < 0 -> Format.fprintf fmt "[%s - %d]" (Regs.name rs1) (-i)
+  | O_imm i -> Format.fprintf fmt "[%s + %d]" (Regs.name rs1) i
+
+(** [pp ~pc fmt insn] disassembles with pc-relative targets resolved when
+    [pc] is provided. *)
+let pp ?pc fmt t =
+  let target disp_words =
+    match pc with
+    | Some pc -> Format.asprintf "0x%x" (Word.add pc (disp_words * 4))
+    | None -> Format.asprintf ".%+d" (disp_words * 4)
+  in
+  match t with
+  | Invalid w -> Format.fprintf fmt ".word 0x%08x  ! invalid" w
+  | Sethi { rd = 0; imm22 = 0 } -> Format.fprintf fmt "nop"
+  | Sethi { rd; imm22 } ->
+      Format.fprintf fmt "sethi %%hi(0x%x), %s" (imm22 lsl 10) (Regs.name rd)
+  | Unimp i -> Format.fprintf fmt "unimp 0x%x" i
+  | Bicc { cond; annul; disp22 } ->
+      Format.fprintf fmt "b%s%s %s" (cond_name cond)
+        (if annul then ",a" else "")
+        (target disp22)
+  | Call { disp30 } -> Format.fprintf fmt "call %s" (target disp30)
+  | Alu { op; rs1; op2; rd } ->
+      Format.fprintf fmt "%s %s, %a, %s" (alu_name op) (Regs.name rs1) pp_operand
+        op2 (Regs.name rd)
+  | Jmpl { rs1; op2 = O_imm 8; rd = 0 } when rs1 = Regs.o7 ->
+      Format.fprintf fmt "retl"
+  | Jmpl { rs1; op2 = O_imm 8; rd = 0 } when rs1 = Regs.i7 ->
+      Format.fprintf fmt "ret"
+  | Jmpl { rs1; op2; rd = 0 } ->
+      Format.fprintf fmt "jmp %a" pp_addr_operand (rs1, op2)
+  | Jmpl { rs1; op2; rd } ->
+      Format.fprintf fmt "jmpl %a, %s" pp_addr_operand (rs1, op2) (Regs.name rd)
+  | Ticc { cond; rs1 = 0; op2 = O_imm i } ->
+      Format.fprintf fmt "t%s %d" (cond_name cond) i
+  | Ticc { cond; rs1; op2 } ->
+      Format.fprintf fmt "t%s %s, %a" (cond_name cond) (Regs.name rs1) pp_operand op2
+  | Rdy { rd } -> Format.fprintf fmt "rd %%y, %s" (Regs.name rd)
+  | Wry { rs1; op2 } ->
+      Format.fprintf fmt "wr %s, %a, %%y" (Regs.name rs1) pp_operand op2
+  | Mem { op; rs1; op2; rd } ->
+      if mem_is_store op then
+        Format.fprintf fmt "%s %s, %a" (mem_name op) (Regs.name rd) pp_addr_operand
+          (rs1, op2)
+      else
+        Format.fprintf fmt "%s %a, %s" (mem_name op) pp_addr_operand (rs1, op2)
+          (Regs.name rd)
+
+let to_string ?pc t = Format.asprintf "%a" (pp ?pc) t

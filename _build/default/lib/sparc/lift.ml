@@ -1,0 +1,149 @@
+(** Lift structured SPARC instructions to EEL's machine-independent
+    {!Eel_arch.Instr.t}.
+
+    This is the handwritten analog of the paper's Figure 6
+    ([mach_inst_make_instruction]): it maps each machine instruction to an
+    EEL category and resolves the SPARC's overloaded uses of [jmpl]
+    (indirect call, return, computed jump). *)
+
+open Eel_arch
+module I = Instr
+
+let rs = Regset.of_list
+let ( ++ ) s r = Regset.add r s
+
+let op2_reads = function
+  | Insn.O_reg r -> Regset.singleton r
+  | Insn.O_imm _ -> Regset.empty
+
+(** System-call convention (documented in DESIGN.md): [ta n] selects call
+    [n] with arguments in %o0–%o2; the result is returned in %o0. For
+    data-flow purposes a syscall reads {o0,o1,o2} and writes {o0}. *)
+let syscall_reads = rs [ Regs.o0; Regs.o1; Regs.o2 ]
+
+let syscall_writes = rs [ Regs.o0 ]
+
+let lift word : I.t =
+  let insn = Insn.decode word in
+  let mk ?(reads = Regset.empty) ?(writes = Regset.empty) ?(ctl = I.C_none)
+      ?(delayed = false) ?(width = 0) ?ea cat =
+    {
+      I.word = Eel_util.Word.mask word;
+      cat;
+      reads;
+      writes;
+      ctl;
+      delayed;
+      width;
+      ea;
+      mnem = Insn.to_string insn;
+    }
+  in
+  match insn with
+  | Invalid _ | Unimp _ -> mk I.Invalid
+  | Sethi { rd; _ } -> mk I.Compute ~writes:(Regset.singleton rd)
+  | Rdy { rd } ->
+      mk I.Compute ~reads:(Regset.singleton Regs.y) ~writes:(Regset.singleton rd)
+  | Wry { rs1; op2 } ->
+      mk I.Compute
+        ~reads:(op2_reads op2 ++ rs1)
+        ~writes:(Regset.singleton Regs.y)
+  | Alu { op; rs1; op2; rd } ->
+      let reads = op2_reads op2 ++ rs1 in
+      let reads =
+        match op with
+        | Udiv | Sdiv -> reads ++ Regs.y
+        | _ -> reads
+      in
+      let writes = Regset.singleton rd in
+      let writes =
+        match op with
+        | Umul | Smul -> writes ++ Regs.y
+        | _ -> writes
+      in
+      let writes = if Insn.alu_sets_cc op then writes ++ Regs.icc else writes in
+      mk I.Compute ~reads ~writes
+  | Bicc { cond; annul; disp22 } ->
+      let always = cond = Insn.CA and never = cond = Insn.CN in
+      let reads =
+        if always || never then Regset.empty else Regset.singleton Regs.icc
+      in
+      mk I.Branch ~reads ~delayed:true
+        ~ctl:(I.C_branch { always; never; annul; disp = disp22 * 4 })
+  | Call { disp30 } ->
+      mk I.Call ~delayed:true
+        ~writes:(Regset.singleton Regs.o7)
+        ~ctl:(I.C_call { disp = disp30 * 4 })
+  | Jmpl { rs1; op2; rd } ->
+      (* Resolve the SPARC's three overloaded uses of jmpl (paper Fig. 6):
+         - jmpl with rd a link register      => indirect call
+         - jmpl %o7+8 / %i7+8 with rd = %g0  => return
+         - otherwise                          => computed jump *)
+      let reads = op2_reads op2 ++ rs1 in
+      let writes = Regset.singleton rd in
+      let ctl = I.C_jump_ind { rs1; op2; link = rd } in
+      let cat =
+        if rd = Regs.o7 || rd = Regs.i7 then I.Call_indirect
+        else if
+          rd = Regs.g0
+          && (rs1 = Regs.o7 || rs1 = Regs.i7)
+          && (op2 = Insn.O_imm 8 || op2 = Insn.O_imm 12)
+        then I.Return
+        else I.Jump_indirect
+      in
+      mk cat ~reads ~writes ~delayed:true ~ctl
+  | Ticc { cond; rs1; op2 } ->
+      let num =
+        match (rs1, op2) with 0, Insn.O_imm i -> Some i | _ -> None
+      in
+      let reads = op2_reads op2 ++ rs1 in
+      let reads = if cond = Insn.CA then reads else reads ++ Regs.icc in
+      mk I.Syscall
+        ~reads:(Regset.union reads syscall_reads)
+        ~writes:syscall_writes
+        ~ctl:(I.C_syscall { num })
+  | Mem { op; rs1; op2; rd } ->
+      let width = Insn.mem_width op in
+      let addr_reads = op2_reads op2 ++ rs1 in
+      let pair r s = if op = Insn.Ldd || op = Insn.Std then s ++ (r + 1) else s in
+      if Insn.mem_is_store op then
+        mk I.Store ~width ~ea:(rs1, op2)
+          ~reads:(Regset.union addr_reads (pair rd (Regset.singleton rd)))
+      else
+        mk I.Load ~width ~ea:(rs1, op2) ~reads:addr_reads
+          ~writes:(pair rd (Regset.singleton rd))
+
+(** Constant-fold one instruction over known register values; the machine-
+    description analog is spawn's generated "replicate the computation" code
+    (paper §4). [read r] returns the known constant value of [r], if any
+    (%g0 is always 0). *)
+let eval_compute (i : I.t) ~read : (int * int) option =
+  let read r = if r = Regs.g0 then Some 0 else read r in
+  let open Eel_util in
+  match Insn.decode i.I.word with
+  | Sethi { rd; imm22 } when rd <> 0 -> Some (rd, imm22 lsl 10)
+  | Alu { op; rs1; op2; rd } when rd <> 0 -> (
+      let v2 =
+        match op2 with Insn.O_imm x -> Some (Word.mask x) | Insn.O_reg r -> read r
+      in
+      match (read rs1, v2) with
+      | Some a, Some b ->
+          let v =
+            match op with
+            | Add | Addcc -> Some (Word.add a b)
+            | Sub | Subcc -> Some (Word.sub a b)
+            | And | Andcc -> Some (a land b)
+            | Or | Orcc -> Some (a lor b)
+            | Xor | Xorcc -> Some (a lxor b)
+            | Andn -> Some (a land Word.mask (lnot b))
+            | Orn -> Some (a lor Word.mask (lnot b))
+            | Xnor -> Some (Word.mask (lnot (a lxor b)))
+            | Sll -> Some (Word.sll a b)
+            | Srl -> Some (Word.srl a b)
+            | Sra -> Some (Word.sra a b)
+            | Umul | Smul -> Some (Word.mul a b)
+            | Udiv | Sdiv | Save | Restore -> None
+          in
+          Option.map (fun v -> (rd, v)) v
+      | _ -> None)
+  | _ -> None

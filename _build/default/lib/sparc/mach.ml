@@ -1,0 +1,118 @@
+(** The handwritten SPARC implementation of EEL's machine interface
+    ({!Eel_arch.Machine.t}).
+
+    This module (together with {!Insn}, {!Lift} and {!Asm}) is the analog of
+    the paper's "2,268 lines of handwritten architecture-specific code". The
+    same interface is also produced mechanically by {!Eel_spawn} from the
+    145-line-scale description in [descriptions/sparc.spawn]; the two are
+    cross-checked by property tests. *)
+
+open Eel_arch
+module W = Eel_util.Word
+
+(** All scavengeable registers: every integer register except %g0 (zero),
+    %o6/%sp (stack pointer) and %g6/%g7 (EEL's reserved scratch registers —
+    the SPARC ABI reserves %g5–%g7 for the system, so conforming programs
+    never hold live values there; this stands in for the paper's planned
+    "mechanism to free a register"). *)
+let allocatable =
+  Regset.diff
+    (Regset.range 1 31)
+    (Regset.of_list [ Regs.sp; Regs.g6; Regs.g7 ])
+
+let retarget (i : Instr.t) ~disp =
+  if disp land 3 <> 0 then None
+  else
+    match Insn.decode i.Instr.word with
+    | Insn.Bicc b ->
+        if W.fits_signed 22 (disp asr 2) then
+          Some (Insn.encode (Insn.Bicc { b with disp22 = disp asr 2 }))
+        else None
+    | Insn.Call _ ->
+        if W.fits_signed 30 (disp asr 2) then
+          Some (Insn.encode (Insn.Call { disp30 = disp asr 2 }))
+        else None
+    | _ -> None
+
+let mk_set_const ~reg v =
+  let v = W.mask v in
+  [
+    Insn.encode (Insn.Sethi { rd = reg; imm22 = v lsr 10 });
+    Insn.encode
+      (Insn.Alu { op = Insn.Or; rs1 = reg; op2 = Insn.O_imm (v land 0x3FF); rd = reg });
+  ]
+
+let set_const_hi word ~value =
+  (* patch a sethi's imm22 with the high 22 bits of [value] *)
+  W.set_bits ~lo:0 ~hi:21 word (W.mask value lsr 10)
+
+let set_const_lo word ~value =
+  (* patch an i=1 format-3 simm13 with the low 10 bits of [value] *)
+  W.set_bits ~lo:0 ~hi:12 word (W.mask value land 0x3FF)
+
+let mach : Machine.t =
+  {
+    name = "sparc-v8";
+    word_bytes = 4;
+    num_regs = Regs.num_regs;
+    reg_name = Regs.name;
+    zero_regs = Regset.singleton Regs.g0;
+    sp = Regs.sp;
+    link = Regs.o7;
+    ret_regs = Regset.of_list [ Regs.o7; Regs.i7 ];
+    allocatable;
+    reserved_scratch = Regs.g7;
+    reserved_scratch2 = Regs.g6;
+    lift = Lift.lift;
+    noreturn =
+      (fun i ->
+        match i.Instr.ctl with
+        | Instr.C_syscall { num = Some 1 } -> true (* exit *)
+        | _ -> false);
+    branch_span = (1 lsl 21) * 4;
+    retarget;
+    nop = Insn.encode Insn.nop;
+    set_annul =
+      (fun word annul ->
+        match Insn.decode word with
+        | Insn.Bicc b -> Insn.encode (Insn.Bicc { b with annul })
+        | _ -> word);
+    mk_ba =
+      (fun ~disp ->
+        Insn.encode (Insn.Bicc { cond = Insn.CA; annul = false; disp22 = disp asr 2 }));
+    mk_call = (fun ~disp -> Insn.encode (Insn.Call { disp30 = disp asr 2 }));
+    mk_set_const = (fun ~reg v -> mk_set_const ~reg v);
+    mk_jmp_reg =
+      (fun ~rs1 ~op2 ~link -> Insn.encode (Insn.Jmpl { rs1; op2; rd = link }));
+    mk_ld_word =
+      (fun ~addr_rs1 ~addr_op2 ~dst ->
+        Insn.encode (Insn.Mem { op = Insn.Ld; rs1 = addr_rs1; op2 = addr_op2; rd = dst }));
+    mk_add =
+      (fun ~rs1 ~op2 ~dst ->
+        Insn.encode (Insn.Alu { op = Insn.Add; rs1; op2; rd = dst }));
+    mk_spill =
+      (fun ~reg ~sp_off ->
+        Insn.encode
+          (Insn.Mem { op = Insn.St; rs1 = Regs.sp; op2 = Insn.O_imm sp_off; rd = reg }));
+    mk_unspill =
+      (fun ~reg ~sp_off ->
+        Insn.encode
+          (Insn.Mem { op = Insn.Ld; rs1 = Regs.sp; op2 = Insn.O_imm sp_off; rd = reg }));
+    set_const_hi;
+    set_const_lo;
+    eval_compute = Lift.eval_compute;
+    shift_left =
+      (fun i ->
+        match Insn.decode i.Instr.word with
+        | Insn.Alu { op = Insn.Sll; rs1; op2 = Insn.O_imm k; _ } -> Some (rs1, k)
+        | _ -> None);
+    mask_bound =
+      (fun i ->
+        match Insn.decode i.Instr.word with
+        | Insn.Alu { op = Insn.And | Insn.Andcc; rs1; op2 = Insn.O_imm m; _ }
+          when m >= 0 ->
+            Some (rs1, m)
+        | _ -> None);
+    asm = (fun ~params src -> Asm.parse_snippet ~params src);
+    disas = (fun ~pc word -> Insn.to_string ~pc (Insn.decode word));
+  }

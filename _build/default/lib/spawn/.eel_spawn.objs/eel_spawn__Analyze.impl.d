@@ -1,0 +1,1 @@
+lib/spawn/analyze.ml: Ast Eel_arch Eel_util Instr List Option Printf Regset

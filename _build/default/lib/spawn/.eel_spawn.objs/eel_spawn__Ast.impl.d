@@ -1,0 +1,1 @@
+lib/spawn/ast.ml:

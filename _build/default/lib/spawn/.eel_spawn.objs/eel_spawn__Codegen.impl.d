@@ -1,0 +1,1 @@
+lib/spawn/codegen.ml: Ast Buffer Elab Hashtbl List Printf String

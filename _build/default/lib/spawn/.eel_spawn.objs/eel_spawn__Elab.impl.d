@@ -1,0 +1,1 @@
+lib/spawn/elab.ml: Ast Eel_util Hashtbl List Option Printf

@@ -1,0 +1,1 @@
+lib/spawn/interp.ml: Ast Buffer Bytes Eel_emu Eel_util Elab Hashtbl List Option Printf

@@ -1,0 +1,1 @@
+lib/spawn/parser.ml: Ast List Printf String

@@ -1,0 +1,1 @@
+lib/spawn/smach.ml: Analyze Ast Eel_arch Eel_sparc Eel_util Elab Hashtbl Instr List Machine Option Parser Printf Regset

@@ -1,0 +1,257 @@
+(** Deriving EEL instructions from elaborated spawn semantics (paper §4).
+
+    This module reads each decoded instance's RTL and extracts what the
+    paper says spawn extracts: classification, registers read and written,
+    literal field values, memory behaviour, and control behaviour. The
+    handful of system conventions spawn cannot know — which [jmpl] uses are
+    calls/returns, what a system call reads and writes — live in
+    {!Smach}, mirroring the paper's Fig. 6 annotated glue ("Spawn is
+    currently unaware of a system's subroutine and system call
+    conventions, so these instructions require additional processing"). *)
+
+open Ast
+open Eel_arch
+
+exception Analyze_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Analyze_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Variable chasing                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* temporaries ([t := ...]) bound anywhere in the instance *)
+let rec var_env_rtl (r : rtl) acc =
+  List.fold_left
+    (fun acc phase -> List.fold_left (fun acc st -> var_env_stmt st acc) acc phase)
+    acc r
+
+and var_env_stmt st acc =
+  match st with
+  | S_assign (L_var x, e) -> (x, e) :: acc
+  | S_if (_, t_, e_) -> var_env_rtl t_ (var_env_rtl e_ acc)
+  | _ -> acc
+
+let rec chase env e =
+  match e with
+  | E_var x -> (
+      match List.assoc_opt x env with
+      | Some v -> chase env v
+      | None -> e)
+  | e -> e
+
+(* ------------------------------------------------------------------ *)
+(* Register usage                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let reg_of_index = function
+  | E_int k -> k
+  | _ -> err "register index did not fold to a constant"
+
+let rec expr_reads e acc =
+  match e with
+  | E_int _ | E_pc | E_tag _ | E_field _ | E_var _ -> acc
+  | E_reg (_, i) -> Regset.add (reg_of_index i) acc
+  | E_sext (a, _) -> expr_reads a acc
+  | E_bin (_, a, b) -> expr_reads a (expr_reads b acc)
+  | E_mem (a, _, _) -> expr_reads a acc
+  | E_builtin (_, args) -> List.fold_left (fun acc a -> expr_reads a acc) acc args
+  | E_test (a, b) -> expr_reads a (expr_reads b acc)
+  | E_cond (c, a, b) -> expr_reads c (expr_reads a (expr_reads b acc))
+  | E_app _ | E_lam _ | E_rtl _ -> err "unreduced term"
+
+let rec rtl_usage (r : rtl) (reads, writes) =
+  List.fold_left
+    (fun acc phase -> List.fold_left (fun acc st -> stmt_usage st acc) acc phase)
+    (reads, writes) r
+
+and stmt_usage st (reads, writes) =
+  match st with
+  | S_assign (L_reg (_, i), e) ->
+      (expr_reads e reads, Regset.add (reg_of_index i) writes)
+  | S_assign (L_pc, e) | S_assign (L_var _, e) -> (expr_reads e reads, writes)
+  | S_store (a, _, v) -> (expr_reads a (expr_reads v reads), writes)
+  | S_if (c, t_, e_) ->
+      rtl_usage e_ (rtl_usage t_ (expr_reads c reads, writes))
+  | S_annul -> (reads, writes)
+  | S_syscall e -> (expr_reads e reads, writes)
+
+(* ------------------------------------------------------------------ *)
+(* Control behaviour                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type pc_write = {
+  pw_target : expr;  (** chased target expression *)
+  pw_guard : string option;  (** enclosing branch-test tag, if any *)
+}
+
+let rec find_pc_writes env guard (r : rtl) acc =
+  List.fold_left
+    (fun acc phase ->
+      List.fold_left (fun acc st -> pc_writes_stmt env guard st acc) acc phase)
+    acc r
+
+and pc_writes_stmt env guard st acc =
+  match st with
+  | S_assign (L_pc, e) -> { pw_target = chase env e; pw_guard = guard } :: acc
+  | S_if (E_test (E_tag g, _), t_, e_) ->
+      find_pc_writes env (Some g) t_ (find_pc_writes env guard e_ acc)
+  | S_if (_, t_, e_) ->
+      find_pc_writes env guard t_ (find_pc_writes env guard e_ acc)
+  | _ -> acc
+
+let rec has_annul (r : rtl) =
+  List.exists
+    (List.exists (function
+      | S_annul -> true
+      | S_if (_, t_, e_) -> has_annul t_ || has_annul e_
+      | _ -> false))
+    r
+
+let rec find_syscall env (r : rtl) : expr option =
+  let stmt st =
+    match st with
+    | S_syscall e -> Some (chase env e)
+    | S_if (_, t_, e_) -> (
+        match find_syscall env t_ with
+        | Some x -> Some x
+        | None -> find_syscall env e_)
+    | _ -> None
+  in
+  List.fold_left
+    (fun acc phase ->
+      match acc with
+      | Some _ -> acc
+      | None ->
+          List.fold_left
+            (fun a st -> match a with Some _ -> a | None -> stmt st)
+            None phase)
+    None r
+
+(* direct pc-relative target: pc + const (signed) *)
+let as_pc_rel env e =
+  match chase env e with
+  | E_bin (Add, E_pc, E_int d) | E_bin (Add, E_int d, E_pc) ->
+      Some (Eel_util.Word.signed d)
+  | _ -> None
+
+(* indirect target: R[a] + (imm | R[b]) *)
+let as_indirect env e =
+  match chase env e with
+  | E_reg (_, i) -> Some (reg_of_index i, Instr.O_imm 0)
+  | E_bin (Add, E_reg (_, i), E_int k) | E_bin (Add, E_int k, E_reg (_, i)) ->
+      Some (reg_of_index i, Instr.O_imm (Eel_util.Word.signed k))
+  | E_bin (Add, E_reg (_, i), E_reg (_, j)) ->
+      Some (reg_of_index i, Instr.O_reg (reg_of_index j))
+  | _ -> None
+
+(* the register assigned the current pc (a link register), if any *)
+let rec find_link (r : rtl) =
+  List.fold_left
+    (fun acc phase ->
+      List.fold_left
+        (fun acc st ->
+          match st with
+          | S_assign (L_reg (_, i), E_pc) -> Some (reg_of_index i)
+          | S_if (_, t_, e_) -> (
+              match acc with
+              | Some _ -> acc
+              | None -> ( match find_link t_ with Some l -> Some l | None -> find_link e_))
+          | _ -> acc)
+        acc phase)
+    None r
+
+(* ------------------------------------------------------------------ *)
+(* Memory behaviour                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type mem_access = { ma_addr : expr; ma_width : int; ma_store : bool }
+
+let rec find_mem env (r : rtl) acc =
+  List.fold_left
+    (fun acc phase -> List.fold_left (fun acc st -> mem_stmt env st acc) acc phase)
+    acc r
+
+and mem_stmt env st acc =
+  let rec in_expr e acc =
+    match e with
+    | E_mem (a, w, _) ->
+        { ma_addr = chase env a; ma_width = w; ma_store = false }
+        :: in_expr a acc
+    | E_bin (_, a, b) -> in_expr a (in_expr b acc)
+    | E_sext (a, _) -> in_expr a acc
+    | E_builtin (_, args) -> List.fold_left (fun acc a -> in_expr a acc) acc args
+    | E_cond (c, a, b) -> in_expr c (in_expr a (in_expr b acc))
+    | E_test (a, b) -> in_expr a (in_expr b acc)
+    | _ -> acc
+  in
+  match st with
+  | S_assign (_, e) -> in_expr e acc
+  | S_store (a, w, v) ->
+      { ma_addr = chase env a; ma_width = w; ma_store = true }
+      :: in_expr a (in_expr v acc)
+  | S_if (c, t_, e_) -> find_mem env e_ (find_mem env t_ (in_expr c acc))
+  | S_annul -> acc
+  | S_syscall e -> in_expr e acc
+
+(* ------------------------------------------------------------------ *)
+(* Constant execution (spawn's "replicate the computation")            *)
+(* ------------------------------------------------------------------ *)
+
+let rec eval_const env read e =
+  let ev a = eval_const env read a in
+  let open Eel_util.Word in
+  match chase env e with
+  | E_int v -> Some (mask v)
+  | E_reg (_, E_int r) -> read r
+  | E_sext (a, k) -> Option.map (fun v -> mask (sext k v)) (ev a)
+  | E_bin (op, a, b) -> (
+      match (ev a, ev b) with
+      | Some x, Some y ->
+          Some
+            (match op with
+            | Add -> add x y
+            | Sub -> sub x y
+            | And -> x land y
+            | Or -> x lor y
+            | Xor -> mask (x lxor y)
+            | Shl -> sll x y
+            | Shr -> srl x y
+            | Sra -> sra x y
+            | Eq -> if x = y then 1 else 0
+            | Ne -> if x <> y then 1 else 0
+            | Mulu | Muls -> mul x y)
+      | _ -> None)
+  | E_cond (c, a, b) -> (
+      match ev c with Some 0 -> ev b | Some _ -> ev a | None -> None)
+  | _ -> None
+
+(** A pure single-register computation's result over known inputs — powers
+    dispatch-table slicing ({!Eel.Slice}). *)
+let eval_compute_rtl (r : rtl) ~read =
+  match r with
+  | [ stmts ] -> (
+      (* single phase, single register assignment, no memory/pc effects *)
+      let effects =
+        List.filter
+          (function S_assign (L_var _, _) -> false | _ -> true)
+          stmts
+      in
+      match effects with
+      | [ S_assign (L_reg (_, E_int rd), e) ] when rd <> 0 ->
+          let env = var_env_rtl r [] in
+          let rec pure e =
+            match e with
+            | E_mem _ | E_builtin _ -> false
+            | E_pc -> false
+            | E_bin (_, a, b) -> pure a && pure b
+            | E_sext (a, _) -> pure a
+            | E_cond (c, a, b) -> pure c && pure a && pure b
+            | E_test _ -> false
+            | _ -> true
+          in
+          if pure (chase env e) then
+            Option.map (fun v -> (rd, v)) (eval_const env read e)
+          else None
+      | _ -> None)
+  | _ -> None

@@ -1,0 +1,75 @@
+(** Abstract syntax of spawn machine descriptions (paper §4, Fig. 7).
+
+    A description has four kinds of declarations:
+
+    - [fields name lo:hi, ...] — instruction bit fields;
+    - [register integer{w} R[n]] and [alias NAME is R[k]] — register sets
+      and aliases (condition codes and special registers are modeled as
+      high-numbered registers, exactly as the paper's [PSR is R[32]]);
+    - [pat name is op=2 && op3=0x38] / [pat [n1 n2 ...] is ... f=[v1 v2 ...]]
+      — binary encodings, with the paper's matrix convention: a vector of
+      names zips with vectors of field values. An optional
+      [valid <expr>] clause adds a decode-validity predicate over fields
+      (reserved-bits-must-be-zero rules);
+    - [val x is e] — semantic function bindings (with lambdas [\x.e]) and
+      [sem name is e] / [sem [n1 ...] is f X @ ['t1 ...]] — attaching
+      (vectors of) semantics to instructions.
+
+    Semantic expressions are a small register-transfer language: statements
+    grouped with [,] execute in parallel; [;] separates {e phases} (the
+    paper: "the semicolon indicates that the first statement executes before
+    the second statement (which overlaps the next instruction's execution)"
+    — i.e. everything after [;] happens in the delay-slot cycle, which is
+    how delayed control transfer is expressed). *)
+
+type binop = Add | Sub | And | Or | Xor | Shl | Shr | Sra | Eq | Ne | Mulu | Muls
+
+type expr =
+  | E_int of int
+  | E_field of string  (** zero-extended field value *)
+  | E_sext of expr * int  (** [sx(e, k)]: sign-extend low k bits *)
+  | E_reg of string * expr  (** [R[e]] — set (or alias) name and index *)
+  | E_pc
+  | E_var of string  (** lambda- or [t :=]-bound variable *)
+  | E_bin of binop * expr * expr
+  | E_mem of expr * int * bool  (** [m{w}[addr]]; bool = sign-extending *)
+  | E_builtin of string * expr list
+      (** builtins: [cc_add(a,b)], [cc_sub], [cc_logic], [hmulu], [hmuls],
+          [divu(y,a,b)], [divs(y,a,b)] *)
+  | E_test of expr * expr  (** [tst(cc)]: apply a branch-test tag *)
+  | E_tag of string  (** ['ne] *)
+  | E_cond of expr * expr * expr  (** value-level [c ? a : b] *)
+  | E_app of expr * expr
+  | E_lam of string * rtl
+  | E_rtl of rtl  (** a statement block used as a function body *)
+
+(** Statements. A [rtl] is a list of phases; each phase is a list of
+    parallel statements. *)
+and stmt =
+  | S_assign of lhs * expr
+  | S_store of expr * int * expr  (** [m{w}[addr] := v] *)
+  | S_if of expr * rtl * rtl  (** guard ? { ... } : { ... } *)
+  | S_annul  (** squash the delay-slot instruction *)
+  | S_syscall of expr  (** trap into the OS with the given number *)
+
+and lhs = L_reg of string * expr | L_pc | L_var of string
+
+and rtl = stmt list list
+
+type pat_constraint = { pc_field : string; pc_values : int list }
+(** [f=[v1 v2 ...]]; a scalar constraint has one value *)
+
+type decl =
+  | D_fields of (string * int * int) list  (** name, lo, hi *)
+  | D_register of { rname : string; width : int; count : int }
+  | D_alias of { aname : string; rset : string; index : int }
+  | D_pat of {
+      names : string list;
+      constraints : pat_constraint list;
+      valid : expr option;
+    }
+  | D_val of string * expr
+  | D_sem of { names : string list; body : expr; vector : expr list option }
+      (** [sem [names] is body @ [args]]: [body] applied to each arg *)
+
+type description = { source_name : string; decls : decl list }

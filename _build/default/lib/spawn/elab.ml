@@ -1,0 +1,361 @@
+(** Elaboration of spawn descriptions (paper §4).
+
+    "Spawn extracts much information about a machine's instructions and
+    registers from a machine description. It determines a classification for
+    each instruction (jump, call, store, invalid, etc.). It finds registers
+    that each instruction reads and writes and literal values in instruction
+    fields. [...] It even generates C++ code to replicate the computation in
+    most instructions."
+
+    Elaboration proceeds in stages:
+
+    + resolve declarations (fields, register sets, aliases, patterns,
+      [val] bindings) and beta-reduce each instruction's semantics to a
+      closed RTL term (vector application [f X @ \['ne 'e ...\]] binds one
+      argument per instruction name);
+    + {e decode}: match a machine word against the patterns in declaration
+      order, checking [valid] predicates — undecodable words are data;
+    + {e instance analysis}: substitute the word's field values into the
+      RTL, constant-fold, and read off the register sets, memory behaviour,
+      control behaviour (direct target displacement / indirect address /
+      condition / annul / phases = delay slots) — everything EEL's
+      machine-independent core needs. *)
+
+open Ast
+
+exception Elab_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Elab_error s)) fmt
+
+type field = { f_lo : int; f_hi : int }
+
+type pat = {
+  p_name : string;
+  p_constraints : (string * int) list;  (** field -> required value *)
+  p_valid : expr option;
+}
+
+type t = {
+  fields : (string, field) Hashtbl.t;
+  num_regs : int;
+  aliases : (string, int) Hashtbl.t;  (** alias name -> register number *)
+  regset : string;  (** name of the (single) register set *)
+  pats : pat list;  (** in declaration order *)
+  sems : (string, rtl) Hashtbl.t;  (** closed RTL per instruction name *)
+  description : description;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Normalization (beta reduction + alias resolution)                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Substitute expression values for variables; resolve [val] names and
+   aliases; turn tag application into tests. *)
+let rec norm (el : t) (vals : (string, expr) Hashtbl.t) env e =
+  match e with
+  | E_int _ | E_field _ | E_pc | E_tag _ -> e
+  | E_var x -> (
+      match List.assoc_opt x env with
+      | Some v -> v
+      | None -> (
+          match Hashtbl.find_opt el.aliases x with
+          | Some r -> E_reg (el.regset, E_int r)
+          | None -> (
+              match Hashtbl.find_opt vals x with
+              | Some body -> norm el vals env body
+              | None ->
+                  if Hashtbl.mem el.fields x then E_field x
+                  else E_var x (* runtime temporary *))))
+  | E_sext (a, k) -> E_sext (norm el vals env a, k)
+  | E_reg (set, i) ->
+      let set_name, base =
+        if set = el.regset then (set, 0)
+        else
+          match Hashtbl.find_opt el.aliases set with
+          | Some r -> (el.regset, r)
+          | None -> err "unknown register set '%s'" set
+      in
+      let i = norm el vals env i in
+      let i = if base = 0 then i else E_bin (Add, E_int base, i) in
+      E_reg (set_name, i)
+  | E_bin (op, a, b) -> E_bin (op, norm el vals env a, norm el vals env b)
+  | E_mem (a, w, sg) -> E_mem (norm el vals env a, w, sg)
+  | E_builtin (f, args) -> E_builtin (f, List.map (norm el vals env) args)
+  | E_test (a, b) -> E_test (norm el vals env a, norm el vals env b)
+  | E_cond (c, a, b) ->
+      E_cond (norm el vals env c, norm el vals env a, norm el vals env b)
+  | E_app (f, a) -> (
+      let f = norm el vals env f in
+      let a = norm el vals env a in
+      match f with
+      | E_lam (x, body) -> E_rtl (norm_rtl el vals ((x, a) :: env) body)
+      | E_tag _ -> E_test (f, a)
+      | E_var _ ->
+          (* a lambda-bound function variable: stays symbolic until the
+             surrounding lambda is applied *)
+          E_app (f, a)
+      | _ -> err "application of a non-function")
+  | E_lam (x, body) -> E_lam (x, body_with_env el vals env x body)
+  | E_rtl r -> E_rtl (norm_rtl el vals env r)
+
+and body_with_env el vals env x body =
+  (* normalize under the lambda, shadowing x *)
+  norm_rtl el vals (List.remove_assoc x env) body
+
+and norm_rtl el vals env (r : rtl) : rtl =
+  List.map (List.map (norm_stmt el vals env)) r
+
+and norm_stmt el vals env = function
+  | S_assign (L_var x, e) -> (
+      (* an alias used as an assignment target *)
+      match Hashtbl.find_opt el.aliases x with
+      | Some rnum -> S_assign (L_reg (el.regset, E_int rnum), norm el vals env e)
+      | None -> S_assign (L_var x, norm el vals env e))
+  | S_assign (L_reg (set, i), e) -> (
+      match norm el vals env (E_reg (set, i)) with
+      | E_reg (set', i') -> S_assign (L_reg (set', i'), norm el vals env e)
+      | _ -> assert false)
+  | S_assign (L_pc, e) -> S_assign (L_pc, norm el vals env e)
+  | S_store (a, w, v) -> S_store (norm el vals env a, w, norm el vals env v)
+  | S_if (c, t_, e_) ->
+      S_if (norm el vals env c, norm_rtl el vals env t_, norm_rtl el vals env e_)
+  | S_annul -> S_annul
+  | S_syscall e -> S_syscall (norm el vals env e)
+
+(* ------------------------------------------------------------------ *)
+(* Elaboration of declarations                                         *)
+(* ------------------------------------------------------------------ *)
+
+let elaborate (d : description) : t =
+  let el =
+    {
+      fields = Hashtbl.create 32;
+      num_regs = 0;
+      aliases = Hashtbl.create 8;
+      regset = "";
+      pats = [];
+      sems = Hashtbl.create 64;
+      description = d;
+    }
+  in
+  let vals : (string, expr) Hashtbl.t = Hashtbl.create 16 in
+  let regset = ref None in
+  let num_regs = ref 0 in
+  let pats = ref [] in
+  (* first pass: fields, registers, aliases *)
+  List.iter
+    (function
+      | D_fields fs ->
+          List.iter
+            (fun (name, lo, hi) ->
+              if lo > hi || hi > 31 then err "bad field %s %d:%d" name lo hi;
+              Hashtbl.replace el.fields name { f_lo = lo; f_hi = hi })
+            fs
+      | D_register { rname; width; count } ->
+          if width <> 32 then err "only 32-bit registers are supported";
+          (match !regset with
+          | None ->
+              regset := Some rname;
+              num_regs := count
+          | Some _ -> err "only one register set is supported (use aliases)")
+      | D_alias { aname; rset; index } -> (
+          match !regset with
+          | Some r when r = rset -> Hashtbl.replace el.aliases aname index
+          | _ -> err "alias %s refers to unknown register set %s" aname rset)
+      | _ -> ())
+    d.decls;
+  let el =
+    {
+      el with
+      regset = (match !regset with Some r -> r | None -> err "no register set");
+      num_regs = !num_regs;
+    }
+  in
+  (* second pass: patterns, vals, sems *)
+  List.iter
+    (function
+      | D_pat { names; constraints; valid } ->
+          let n = List.length names in
+          List.iteri
+            (fun i name ->
+              let cs =
+                List.map
+                  (fun c ->
+                    if not (Hashtbl.mem el.fields c.pc_field) then
+                      err "pattern %s constrains unknown field %s" name c.pc_field;
+                    match c.pc_values with
+                    | [ v ] -> (c.pc_field, v)
+                    | vs when List.length vs = n -> (c.pc_field, List.nth vs i)
+                    | _ ->
+                        err
+                          "pattern vector for %s: %d names but %d values for %s"
+                          name n (List.length c.pc_values) c.pc_field)
+                  constraints
+              in
+              pats := { p_name = name; p_constraints = cs; p_valid = valid } :: !pats)
+            names
+      | D_val (name, body) -> Hashtbl.replace vals name body
+      | D_sem { names; body; vector } ->
+          let n = List.length names in
+          let bodies =
+            match vector with
+            | None -> List.map (fun _ -> body) names
+            | Some args when List.length args = n ->
+                List.map (fun a -> E_app (body, a)) args
+            | Some args ->
+                err "sem vector: %d names but %d arguments" n (List.length args)
+          in
+          List.iter2
+            (fun name b ->
+              match norm el vals [] b with
+              | E_rtl r -> Hashtbl.replace el.sems name r
+              | E_lam _ -> err "semantics of %s is under-applied" name
+              | e ->
+                  (* a bare expression: treat as a value-producing no-op *)
+                  ignore e;
+                  err "semantics of %s is not a statement block" name)
+            names bodies
+      | _ -> ())
+    d.decls;
+  let el = { el with pats = List.rev !pats } in
+  (* every pattern must have semantics *)
+  List.iter
+    (fun p ->
+      if not (Hashtbl.mem el.sems p.p_name) then
+        err "pattern %s has no semantics" p.p_name)
+    el.pats;
+  el
+
+(* ------------------------------------------------------------------ *)
+(* Decoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let field_value (el : t) word fname =
+  match Hashtbl.find_opt el.fields fname with
+  | Some f -> Eel_util.Word.bits ~lo:f.f_lo ~hi:f.f_hi word
+  | None -> err "unknown field %s" fname
+
+(* Evaluate an expression over known field values only (validity
+   predicates). *)
+let rec eval_fields el word e =
+  match e with
+  | E_int v -> v
+  | E_field f -> field_value el word f
+  | E_var f when Hashtbl.mem el.fields f -> field_value el word f
+  | E_sext (a, k) -> Eel_util.Word.sext k (eval_fields el word a)
+  | E_bin (op, a, b) -> (
+      let a = eval_fields el word a and b = eval_fields el word b in
+      let open Eel_util.Word in
+      match op with
+      | Add -> add a b
+      | Sub -> sub a b
+      | And -> a land b
+      | Or -> a lor b
+      | Xor -> mask (a lxor b)
+      | Shl -> sll a b
+      | Shr -> srl a b
+      | Sra -> sra a b
+      | Eq -> if a = b then 1 else 0
+      | Ne -> if a <> b then 1 else 0
+      | Mulu | Muls -> mul a b)
+  | E_cond (c, a, b) ->
+      if eval_fields el word c <> 0 then eval_fields el word a
+      else eval_fields el word b
+  | _ -> err "validity predicate may only mention fields"
+
+(** [decode el word] — the name of the instruction encoded by [word], if
+    any pattern (with its validity predicate) matches. *)
+let decode el word =
+  let matches p =
+    List.for_all (fun (f, v) -> field_value el word f = v) p.p_constraints
+    && match p.p_valid with None -> true | Some e -> eval_fields el word e <> 0
+  in
+  List.find_opt matches el.pats |> Option.map (fun p -> p.p_name)
+
+(** [encode el name fields] — build a word for instruction [name] with the
+    given field assignments (pattern-constrained fields are set from the
+    pattern). Spawn-derived code synthesis. *)
+let encode el name fields =
+  match List.find_opt (fun p -> p.p_name = name) el.pats with
+  | None -> err "encode: unknown instruction %s" name
+  | Some p ->
+      let w = ref 0 in
+      let set f v =
+        match Hashtbl.find_opt el.fields f with
+        | Some fd -> w := Eel_util.Word.set_bits ~lo:fd.f_lo ~hi:fd.f_hi !w v
+        | None -> err "encode: unknown field %s" f
+      in
+      List.iter (fun (f, v) -> set f v) p.p_constraints;
+      List.iter (fun (f, v) -> set f v) fields;
+      !w
+
+(* ------------------------------------------------------------------ *)
+(* Instance simplification                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Substitute field values and constant-fold. [fold_tests] additionally
+   resolves always/never branch tests ('a / 'n), which is wanted for
+   register-usage analysis but not for classification. *)
+let rec simplify el word ~fold_tests e =
+  let s = simplify el word ~fold_tests in
+  match e with
+  | E_int _ | E_pc | E_tag _ | E_var _ -> e
+  | E_field f -> E_int (field_value el word f)
+  | E_sext (a, k) -> (
+      match s a with E_int v -> E_int (Eel_util.Word.sext k v) | a -> E_sext (a, k))
+  | E_reg (set, i) -> E_reg (set, s i)
+  | E_bin (op, a, b) -> (
+      match (s a, s b) with
+      | E_int x, E_int y ->
+          E_int (eval_fields el word (E_bin (op, E_int x, E_int y)))
+      | a, b -> E_bin (op, a, b))
+  | E_mem (a, w, sg) -> E_mem (s a, w, sg)
+  | E_builtin (f, args) -> E_builtin (f, List.map s args)
+  | E_test (E_tag "a", _) when fold_tests -> E_int 1
+  | E_test (E_tag "n", _) when fold_tests -> E_int 0
+  | E_test (a, b) -> E_test (s a, s b)
+  | E_cond (c, a, b) -> (
+      match s c with E_int 0 -> s b | E_int _ -> s a | c -> E_cond (c, s a, s b))
+  | E_app _ | E_lam _ | E_rtl _ -> err "unreduced term in instance semantics"
+
+let rec simplify_rtl el word ~fold_tests (r : rtl) : rtl =
+  List.map (List.concat_map (simplify_stmt el word ~fold_tests)) r
+
+and simplify_stmt el word ~fold_tests st : stmt list =
+  let se = simplify el word ~fold_tests in
+  match st with
+  | S_assign (L_reg (set, i), e) -> [ S_assign (L_reg (set, se i), se e) ]
+  | S_assign (l, e) -> [ S_assign (l, se e) ]
+  | S_store (a, w, v) -> [ S_store (se a, w, se v) ]
+  | S_if (c, t_, e_) -> (
+      match se c with
+      | E_int 0 -> List.concat (simplify_rtl el word ~fold_tests e_)
+      | E_int _ -> List.concat (simplify_rtl el word ~fold_tests t_)
+      | c ->
+          [
+            S_if
+              (c, simplify_rtl el word ~fold_tests t_, simplify_rtl el word ~fold_tests e_);
+          ])
+  | S_annul -> [ S_annul ]
+  | S_syscall e -> [ S_syscall (se e) ]
+
+(** The fully-instantiated semantics of a decoded word. *)
+type instance = {
+  i_name : string;
+  i_word : int;
+  i_rtl : rtl;  (** tests folded: for register usage and execution *)
+  i_rtl_struct : rtl;  (** tests kept: for classification *)
+}
+
+let instance el word =
+  match decode el word with
+  | None -> None
+  | Some name ->
+      let r = Hashtbl.find el.sems name in
+      Some
+        {
+          i_name = name;
+          i_word = word;
+          i_rtl = simplify_rtl el word ~fold_tests:true r;
+          i_rtl_struct = simplify_rtl el word ~fold_tests:false r;
+        }

@@ -1,0 +1,497 @@
+(** Hand-written recursive-descent parser for spawn machine descriptions.
+
+    The concrete syntax follows paper Fig. 7 closely; see
+    [descriptions/sparc.spawn] for the full SPARC description and {!Ast}
+    for the grammar summary. Comments run from [!] to end of line. *)
+
+open Ast
+
+exception Parse_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type token =
+  | T_ident of string
+  | T_int of int
+  | T_tag of string  (** 'ne *)
+  | T_punct of string
+  | T_eof
+
+let show_token = function
+  | T_ident w -> w
+  | T_int v -> string_of_int v
+  | T_punct q -> "'" ^ q ^ "'"
+  | T_tag g -> "'" ^ g
+  | T_eof -> "<eof>"
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let line = ref 1 in
+  let i = ref 0 in
+  let is_word c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+    || c = '_'
+  in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then (
+      incr line;
+      incr i)
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '!' && not (!i + 1 < n && src.[!i + 1] = '=') then
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    else if c = '\'' then (
+      let j = ref (!i + 1) in
+      while !j < n && is_word src.[!j] do
+        incr j
+      done;
+      toks := (T_tag (String.sub src (!i + 1) (!j - !i - 1)), !line) :: !toks;
+      i := !j)
+    else if is_word c then (
+      let j = ref !i in
+      while !j < n && is_word src.[!j] do
+        incr j
+      done;
+      let w = String.sub src !i (!j - !i) in
+      (match int_of_string_opt w with
+      | Some v -> toks := (T_int v, !line) :: !toks
+      | None -> toks := (T_ident w, !line) :: !toks);
+      i := !j)
+    else
+      let three = if !i + 2 < n then String.sub src !i 3 else "" in
+      let two = if !i + 1 < n then String.sub src !i 2 else "" in
+      if three = ">>a" then (
+        toks := (T_punct ">>a", !line) :: !toks;
+        i := !i + 3)
+      else if List.mem two [ ":="; "&&"; "<<"; ">>"; "*u"; "*s"; "!=" ] then (
+        toks := (T_punct two, !line) :: !toks;
+        i := !i + 2)
+      else (
+        toks := (T_punct (String.make 1 c), !line) :: !toks;
+        incr i)
+  done;
+  List.rev ((T_eof, !line) :: !toks)
+
+type stream = { mutable toks : (token * int) list }
+
+let peek s = fst (List.hd s.toks)
+let peek2 s = match s.toks with _ :: (t, _) :: _ -> t | _ -> T_eof
+let lineno s = snd (List.hd s.toks)
+let advance s =
+  match s.toks with [] | [ _ ] -> () | _ :: rest -> s.toks <- rest
+
+let next s =
+  let t = peek s in
+  advance s;
+  t
+
+let expect s p =
+  match next s with
+  | T_punct q when q = p -> ()
+  | t -> err "line %d: expected '%s', got %s" (lineno s) p (show_token t)
+
+let expect_ident s =
+  match next s with
+  | T_ident w -> w
+  | t -> err "line %d: expected identifier, got %s" (lineno s) (show_token t)
+
+let expect_int s =
+  match next s with
+  | T_int v -> v
+  | T_punct "-" -> (
+      match next s with
+      | T_int v -> -v
+      | t -> err "line %d: expected integer, got %s" (lineno s) (show_token t))
+  | t -> err "line %d: expected integer, got %s" (lineno s) (show_token t)
+
+let is_punct s p = match peek s with T_punct q -> q = p | _ -> false
+
+let is_ident s w = match peek s with T_ident q -> q = w | _ -> false
+
+let eat s p =
+  if is_punct s p then (
+    advance s;
+    true)
+  else false
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let builtins =
+  [ "cc_add"; "cc_sub"; "cc_logic"; "hmulu"; "hmuls"; "divu"; "divs"; "ltu" ]
+
+let rec parse_expr s = parse_ternary s
+
+and parse_ternary s =
+  let c = parse_or s in
+  if is_punct s "?" && peek2 s <> T_punct "{" then (
+    advance s;
+    let a = parse_expr s in
+    expect s ":";
+    let b = parse_expr s in
+    E_cond (c, a, b))
+  else c
+
+and parse_or s =
+  let a = ref (parse_xor s) in
+  while is_punct s "|" do
+    advance s;
+    a := E_bin (Or, !a, parse_xor s)
+  done;
+  !a
+
+and parse_xor s =
+  let a = ref (parse_and s) in
+  while is_punct s "^" do
+    advance s;
+    a := E_bin (Xor, !a, parse_and s)
+  done;
+  !a
+
+and parse_and s =
+  let a = ref (parse_cmp s) in
+  while is_punct s "&" do
+    advance s;
+    a := E_bin (And, !a, parse_cmp s)
+  done;
+  !a
+
+and parse_cmp s =
+  let a = parse_shift s in
+  if eat s "=" then E_bin (Eq, a, parse_shift s)
+  else if eat s "!=" then E_bin (Ne, a, parse_shift s)
+  else a
+
+and parse_shift s =
+  let a = ref (parse_addsub s) in
+  let continue_ = ref true in
+  while !continue_ do
+    if is_punct s "<<" then (
+      advance s;
+      a := E_bin (Shl, !a, parse_addsub s))
+    else if is_punct s ">>a" then (
+      advance s;
+      a := E_bin (Sra, !a, parse_addsub s))
+    else if is_punct s ">>" then (
+      advance s;
+      a := E_bin (Shr, !a, parse_addsub s))
+    else continue_ := false
+  done;
+  !a
+
+and parse_addsub s =
+  let a = ref (parse_mul s) in
+  let continue_ = ref true in
+  while !continue_ do
+    if is_punct s "+" then (
+      advance s;
+      a := E_bin (Add, !a, parse_mul s))
+    else if is_punct s "-" then (
+      advance s;
+      a := E_bin (Sub, !a, parse_mul s))
+    else continue_ := false
+  done;
+  !a
+
+and parse_mul s =
+  let a = ref (parse_unary s) in
+  let continue_ = ref true in
+  while !continue_ do
+    if is_punct s "*u" then (
+      advance s;
+      a := E_bin (Mulu, !a, parse_unary s))
+    else if is_punct s "*s" then (
+      advance s;
+      a := E_bin (Muls, !a, parse_unary s))
+    else continue_ := false
+  done;
+  !a
+
+and parse_unary s =
+  if eat s "~" then E_bin (Xor, E_int 0xFFFFFFFF, parse_unary s)
+  else parse_postfix s
+
+and parse_postfix s =
+  let a = ref (parse_atom s) in
+  while is_punct s "(" do
+    advance s;
+    let arg = parse_expr s in
+    expect s ")";
+    a := E_app (!a, arg)
+  done;
+  !a
+
+and parse_lambda s =
+  (* '\' already consumed *)
+  let x = expect_ident s in
+  expect s ".";
+  let body =
+    if is_punct s "{" then parse_block s
+    else if is_punct s "\\" then (
+      advance s;
+      [ [ S_assign (L_var "_ret", parse_lambda s) ] ])
+    else [ [ S_assign (L_var "_ret", parse_expr s) ] ]
+  in
+  E_lam (x, body)
+
+and parse_mem_expr s ~signed =
+  (* 'm' / 'ms' already consumed; at '{' *)
+  expect s "{";
+  let w = expect_int s in
+  expect s "}";
+  expect s "[";
+  let addr = parse_expr s in
+  expect s "]";
+  E_mem (addr, w, signed)
+
+and parse_atom s =
+  match next s with
+  | T_int v -> E_int v
+  | T_tag g -> E_tag g
+  | T_punct "(" ->
+      let e = parse_expr s in
+      expect s ")";
+      e
+  | T_punct "\\" -> parse_lambda s
+  | T_punct "-" -> (
+      match next s with
+      | T_int v -> E_int (-v)
+      | t -> err "line %d: expected integer after '-', got %s" (lineno s) (show_token t))
+  | T_ident "pc" -> E_pc
+  | T_ident "sx" ->
+      expect s "(";
+      let e = parse_expr s in
+      expect s ",";
+      let k = expect_int s in
+      expect s ")";
+      E_sext (e, k)
+  | T_ident "m" when is_punct s "{" -> parse_mem_expr s ~signed:false
+  | T_ident "ms" when is_punct s "{" -> parse_mem_expr s ~signed:true
+  | T_ident f when List.mem f builtins ->
+      expect s "(";
+      let args = ref [ parse_expr s ] in
+      while eat s "," do
+        args := parse_expr s :: !args
+      done;
+      expect s ")";
+      E_builtin (f, List.rev !args)
+  | T_ident w ->
+      if is_punct s "[" then (
+        advance s;
+        let e = parse_expr s in
+        expect s "]";
+        E_reg (w, e))
+      else E_var w
+  | t -> err "line %d: unexpected %s in expression" (lineno s) (show_token t)
+
+(* ------------------------------------------------------------------ *)
+(* Statements and blocks                                               *)
+(* ------------------------------------------------------------------ *)
+
+and parse_block s : rtl =
+  expect s "{";
+  let phases = ref [] in
+  let cur = ref [] in
+  let flush () =
+    phases := List.rev !cur :: !phases;
+    cur := []
+  in
+  let rec go () =
+    if eat s "}" then flush ()
+    else if eat s ";" then (
+      flush ();
+      go ())
+    else if eat s "," then go ()
+    else (
+      cur := parse_stmt s :: !cur;
+      go ())
+  in
+  go ();
+  List.rev !phases
+
+and parse_stmt s : stmt =
+  match peek s with
+  | T_ident "annul" ->
+      advance s;
+      S_annul
+  | T_ident "syscall" ->
+      advance s;
+      expect s "(";
+      let e = parse_expr s in
+      expect s ")";
+      S_syscall e
+  | T_ident ("m" | "ms") when peek2 s = T_punct "{" -> (
+      let signed = match next s with T_ident "ms" -> true | _ -> false in
+      ignore signed;
+      expect s "{";
+      let w = expect_int s in
+      expect s "}";
+      expect s "[";
+      let addr = parse_expr s in
+      expect s "]";
+      expect s ":=";
+      let v = parse_expr s in
+      S_store (addr, w, v))
+  | _ -> (
+      let e = parse_expr s in
+      if eat s ":=" then
+        let rhs = parse_expr s in
+        match e with
+        | E_pc -> S_assign (L_pc, rhs)
+        | E_reg (set, idx) -> S_assign (L_reg (set, idx), rhs)
+        | E_var x -> S_assign (L_var x, rhs)
+        | _ -> err "line %d: bad assignment target" (lineno s)
+      else if eat s "?" then (
+        let then_ = parse_block s in
+        let else_ = if eat s ":" then parse_block s else [ [] ] in
+        S_if (e, then_, else_))
+      else err "line %d: expected ':=' or '?' after expression" (lineno s))
+
+(* ------------------------------------------------------------------ *)
+(* Declarations                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let parse_name_vector s =
+  if eat s "[" then (
+    let names = ref [] in
+    while not (is_punct s "]") do
+      names := expect_ident s :: !names
+    done;
+    expect s "]";
+    List.rev !names)
+  else [ expect_ident s ]
+
+let parse_int_vector s =
+  if eat s "[" then (
+    let vals = ref [] in
+    while not (is_punct s "]") do
+      vals := expect_int s :: !vals
+    done;
+    expect s "]";
+    List.rev !vals)
+  else [ expect_int s ]
+
+let parse_constraints s =
+  let one () =
+    let f = expect_ident s in
+    expect s "=";
+    { pc_field = f; pc_values = parse_int_vector s }
+  in
+  let cs = ref [ one () ] in
+  while is_punct s "&&" do
+    advance s;
+    cs := one () :: !cs
+  done;
+  List.rev !cs
+
+let parse_decl s : decl option =
+  match peek s with
+  | T_eof -> None
+  | T_ident "fields" ->
+      advance s;
+      let one () =
+        let name = expect_ident s in
+        let lo = expect_int s in
+        expect s ":";
+        let hi = expect_int s in
+        (name, lo, hi)
+      in
+      let fs = ref [ one () ] in
+      while eat s "," do
+        fs := one () :: !fs
+      done;
+      Some (D_fields (List.rev !fs))
+  | T_ident "register" ->
+      advance s;
+      let _ty = expect_ident s in
+      expect s "{";
+      let width = expect_int s in
+      expect s "}";
+      let rname = expect_ident s in
+      expect s "[";
+      let count = expect_int s in
+      expect s "]";
+      Some (D_register { rname; width; count })
+  | T_ident "alias" ->
+      advance s;
+      let aname = expect_ident s in
+      (match next s with
+      | T_ident "is" -> ()
+      | t -> err "line %d: expected 'is', got %s" (lineno s) (show_token t));
+      let rset = expect_ident s in
+      expect s "[";
+      let index = expect_int s in
+      expect s "]";
+      Some (D_alias { aname; rset; index })
+  | T_ident "pat" ->
+      advance s;
+      let names = parse_name_vector s in
+      (match next s with
+      | T_ident "is" -> ()
+      | t -> err "line %d: expected 'is', got %s" (lineno s) (show_token t));
+      let constraints = parse_constraints s in
+      let valid =
+        if is_ident s "valid" then (
+          advance s;
+          Some (parse_expr s))
+        else None
+      in
+      Some (D_pat { names; constraints; valid })
+  | T_ident "val" ->
+      advance s;
+      let name = expect_ident s in
+      (match next s with
+      | T_ident "is" -> ()
+      | t -> err "line %d: expected 'is', got %s" (lineno s) (show_token t));
+      let body =
+        if is_punct s "{" then E_rtl (parse_block s)
+        else if is_punct s "\\" then (
+          advance s;
+          parse_lambda s)
+        else parse_expr s
+      in
+      Some (D_val (name, body))
+  | T_ident "sem" ->
+      advance s;
+      let names = parse_name_vector s in
+      (match next s with
+      | T_ident "is" -> ()
+      | t -> err "line %d: expected 'is', got %s" (lineno s) (show_token t));
+      let body =
+        if is_punct s "{" then E_rtl (parse_block s) else parse_expr s
+      in
+      let vector =
+        if eat s "@" then (
+          expect s "[";
+          let args = ref [] in
+          while not (is_punct s "]") do
+            args := parse_atom s :: !args
+          done;
+          expect s "]";
+          Some (List.rev !args))
+        else None
+      in
+      Some (D_sem { names; body; vector })
+  | t -> err "line %d: unexpected %s at top level" (lineno s) (show_token t)
+
+(** Parse a complete description. *)
+let parse ?(source_name = "<description>") src =
+  let s = { toks = tokenize src } in
+  let decls = ref [] in
+  let rec go () =
+    match parse_decl s with
+    | Some d ->
+        decls := d :: !decls;
+        go ()
+    | None -> ()
+  in
+  go ();
+  { source_name; decls = List.rev !decls }

@@ -1,0 +1,371 @@
+(** A complete {!Eel_arch.Machine.t} built from a spawn description.
+
+    This module is the analog of the paper's Fig. 6: "mostly machine-
+    independent annotated C++" that consumes spawn-derived information and
+    adds the system knowledge spawn cannot extract from instruction
+    semantics — the overloaded uses of [jmpl] (indirect call / return /
+    computed jump), the system-call ABI, and the names of the instructions
+    used for code synthesis (nop, unconditional branch, constant
+    construction, spills).
+
+    The derived machine is cross-checked against the handwritten
+    {!Eel_sparc.Mach.mach} by property tests, and a second, semantics-driven
+    emulator ({!Interp}) executes whole programs from the same description
+    and must agree with the handwritten emulator. *)
+
+open Eel_arch
+module A = Analyze
+
+(* System conventions, mirroring the handwritten lifter's glue. *)
+let link_regs = [ 15; 31 ]
+
+let syscall_reads = Regset.of_list [ 8; 9; 10 ]
+
+let syscall_writes = Regset.of_list [ 8 ]
+
+(** [lift el word] — build an EEL instruction from the description's
+    semantics (paper Fig. 6's [mach_inst_make_instruction]). *)
+let lift (el : Elab.t) word : Instr.t =
+  let mk ?(reads = Regset.empty) ?(writes = Regset.empty) ?(ctl = Instr.C_none)
+      ?(delayed = false) ?(width = 0) ?ea ~mnem cat =
+    {
+      Instr.word = Eel_util.Word.mask word;
+      cat;
+      reads;
+      writes;
+      ctl;
+      delayed;
+      width;
+      ea;
+      mnem;
+    }
+  in
+  match Elab.instance el word with
+  | None -> mk ~mnem:(Printf.sprintf ".word 0x%08x" word) Instr.Invalid
+  | Some inst ->
+      let mnem = inst.Elab.i_name in
+      let reads, writes =
+        A.rtl_usage inst.Elab.i_rtl (Regset.empty, Regset.empty)
+      in
+      let env = A.var_env_rtl inst.Elab.i_rtl_struct [] in
+      let pc_writes = A.find_pc_writes env None inst.Elab.i_rtl_struct [] in
+      let annul = A.has_annul inst.Elab.i_rtl in
+      let delayed = List.length inst.Elab.i_rtl_struct > 1 in
+      let mems = A.find_mem env inst.Elab.i_rtl [] in
+      match pc_writes with
+      | pw :: _ -> (
+          match A.as_pc_rel env pw.A.pw_target with
+          | Some disp -> (
+              (* direct transfer: branch or call *)
+              match pw.A.pw_guard with
+              | Some tag ->
+                  mk ~mnem ~reads ~writes ~delayed
+                    (if tag = "n" then Instr.Branch else Instr.Branch)
+                    ~ctl:
+                      (Instr.C_branch
+                         { always = tag = "a"; never = tag = "n"; annul; disp })
+              | None -> (
+                  match A.find_link inst.Elab.i_rtl_struct with
+                  | Some link when List.mem link link_regs ->
+                      mk ~mnem ~reads ~writes ~delayed Instr.Call
+                        ~ctl:(Instr.C_call { disp })
+                  | _ ->
+                      (* unconditional direct transfer without a link:
+                         branch-always *)
+                      mk ~mnem ~reads ~writes ~delayed Instr.Branch
+                        ~ctl:
+                          (Instr.C_branch
+                             { always = true; never = false; annul; disp })))
+          | None -> (
+              match A.as_indirect env pw.A.pw_target with
+              | Some (rs1, op2) ->
+                  (* the paper's Fig. 6 jmpl overload resolution *)
+                  let link =
+                    Option.value ~default:0 (A.find_link inst.Elab.i_rtl_struct)
+                  in
+                  let ctl = Instr.C_jump_ind { rs1; op2; link } in
+                  let cat =
+                    if List.mem link link_regs then Instr.Call_indirect
+                    else if
+                      link = 0 && List.mem rs1 link_regs
+                      && (op2 = Instr.O_imm 8 || op2 = Instr.O_imm 12)
+                    then Instr.Return
+                    else Instr.Jump_indirect
+                  in
+                  mk ~mnem ~reads ~writes ~delayed cat ~ctl
+              | None ->
+                  A.err "cannot analyze control transfer of %s" inst.Elab.i_name))
+      | [] -> (
+          match A.find_syscall env inst.Elab.i_rtl_struct with
+          | Some arg ->
+              let num =
+                match arg with
+                | Ast.E_int k -> Some k
+                | Ast.E_bin (Ast.Add, Ast.E_reg (_, Ast.E_int 0), Ast.E_int k) ->
+                    Some k
+                | _ -> None
+              in
+              mk ~mnem Instr.Syscall
+                ~reads:(Regset.union reads syscall_reads)
+                ~writes:(Regset.union writes syscall_writes)
+                ~ctl:(Instr.C_syscall { num })
+          | None -> (
+              match mems with
+              | [] -> mk ~mnem ~reads ~writes Instr.Compute
+              | ms ->
+                  let width = List.fold_left (fun a m -> a + m.A.ma_width) 0 ms in
+                  let stores = List.exists (fun m -> m.A.ma_store) ms in
+                  let loads = List.exists (fun m -> not m.A.ma_store) ms in
+                  let ea =
+                    match A.as_indirect env (List.hd (List.rev ms)).A.ma_addr with
+                    | Some (rs1, op2) -> Some (rs1, op2)
+                    | None -> None
+                  in
+                  let cat =
+                    if stores && loads then Instr.Load_store
+                    else if stores then Instr.Store
+                    else Instr.Load
+                  in
+                  mk ~mnem ~reads ~writes ~width ?ea cat))
+
+(* ------------------------------------------------------------------ *)
+(* Derived field knowledge for synthesis                               *)
+(* ------------------------------------------------------------------ *)
+
+(* the pc-relative displacement field of a direct CTI: found by locating
+   [pc := pc + (sx(FIELD, k) << s)] in the (unsubstituted) semantics *)
+let disp_field (el : Elab.t) name =
+  match Hashtbl.find_opt el.Elab.sems name with
+  | None -> None
+  | Some rtl -> (
+      let env = A.var_env_rtl rtl [] in
+      let pws = A.find_pc_writes env None rtl [] in
+      let rec shape e =
+        match e with
+        | Ast.E_bin (Ast.Add, Ast.E_pc, rest) | Ast.E_bin (Ast.Add, rest, Ast.E_pc)
+          -> (
+            match rest with
+            | Ast.E_bin (Ast.Shl, Ast.E_sext (Ast.E_field f, k), Ast.E_int s) ->
+                Some (f, k, s)
+            | Ast.E_sext (Ast.E_field f, k) -> Some (f, k, 0)
+            | _ -> None)
+        | Ast.E_var _ -> shape (A.chase env e)
+        | _ -> None
+      in
+      List.fold_left
+        (fun acc pw -> match acc with Some _ -> acc | None -> shape pw.A.pw_target)
+        None pws)
+
+(* the annul-control field: the guard of an [annul] statement *)
+let annul_field (el : Elab.t) name =
+  match Hashtbl.find_opt el.Elab.sems name with
+  | None -> None
+  | Some rtl ->
+      let rec in_rtl r =
+        List.fold_left
+          (fun acc ph -> List.fold_left (fun a st -> in_stmt a st) acc ph)
+          None r
+      and in_stmt acc st =
+        match (acc, st) with
+        | Some _, _ -> acc
+        | None, Ast.S_if (Ast.E_bin (Ast.Eq, Ast.E_field f, Ast.E_int 1), t_, e_)
+          ->
+            if A.has_annul t_ then Some f else in_rtl e_
+        | None, Ast.S_if (_, t_, e_) -> (
+            match in_rtl t_ with Some f -> Some f | None -> in_rtl e_)
+        | None, _ -> None
+      in
+      in_rtl rtl
+
+(* ------------------------------------------------------------------ *)
+(* The machine                                                         *)
+(* ------------------------------------------------------------------ *)
+
+exception Smach_error of string
+
+let serr fmt = Printf.ksprintf (fun s -> raise (Smach_error s)) fmt
+
+(** [mach_of el] — a full machine interface derived from the description
+    (plus the synthesis glue). *)
+let mach_of (el : Elab.t) : Machine.t =
+  let enc = Elab.encode el in
+  let field_of name =
+    match disp_field el name with
+    | Some (f, k, s) -> (f, k, s)
+    | None -> serr "no displacement field for %s" name
+  in
+  let bf, bk, bs = field_of "ba" in
+  let cf, ck, cs = field_of "call" in
+  let set_disp_field (fname, k, s) word disp =
+    if disp land ((1 lsl s) - 1) <> 0 then None
+    else
+      let v = disp asr s in
+      if not (Eel_util.Word.fits_signed k v) then None
+      else
+        let fd = Hashtbl.find el.Elab.fields fname in
+        Some
+          (Eel_util.Word.set_bits ~lo:fd.Elab.f_lo ~hi:fd.Elab.f_hi word
+             (Eel_util.Word.zext k v))
+  in
+  let lift_cache = lift el in
+  ignore lift_cache;
+  let retarget (i : Instr.t) ~disp =
+    match Elab.decode el i.Instr.word with
+    | None -> None
+    | Some name -> (
+        match disp_field el name with
+        | Some f -> set_disp_field f i.Instr.word disp
+        | None -> None)
+  in
+  let nop = enc "sethi" [ ("rd", 0); ("imm22", 0) ] in
+  let aflag =
+    match annul_field el "ba" with
+    | Some f -> f
+    | None -> serr "no annul field"
+  in
+  let set_annul word annul =
+    match Elab.decode el word with
+    | Some name when disp_field el name <> None && name <> "call" ->
+        let fd = Hashtbl.find el.Elab.fields aflag in
+        Eel_util.Word.set_bits ~lo:fd.Elab.f_lo ~hi:fd.Elab.f_hi word
+          (if annul then 1 else 0)
+    | _ -> word
+  in
+  let op2_fields = function
+    | Instr.O_imm k ->
+        [ ("iflag", 1); ("simm13", Eel_util.Word.zext 13 k) ]
+    | Instr.O_reg r -> [ ("iflag", 0); ("rs2", r) ]
+  in
+  {
+    Machine.name = "sparc-v8-spawn";
+    word_bytes = 4;
+    num_regs = el.Elab.num_regs;
+    reg_name = Eel_sparc.Regs.name;
+    zero_regs = Regset.singleton 0;
+    sp = 14;
+    link = 15;
+    ret_regs = Regset.of_list [ 15; 31 ];
+    allocatable =
+      Regset.diff (Regset.range 1 31) (Regset.of_list [ 14; 6; 7 ]);
+    reserved_scratch = 7;
+    reserved_scratch2 = 6;
+    lift = lift el;
+    noreturn =
+      (fun i ->
+        match i.Instr.ctl with
+        | Instr.C_syscall { num = Some 1 } -> true
+        | _ -> false);
+    branch_span = (1 lsl (bk - 1)) * (1 lsl bs);
+    retarget;
+    nop;
+    set_annul;
+    mk_ba =
+      (fun ~disp ->
+        match
+          set_disp_field (bf, bk, bs) (enc "ba" [ ("aflag", 0) ]) disp
+        with
+        | Some w -> w
+        | None -> serr "ba displacement out of range");
+    mk_call =
+      (fun ~disp ->
+        match set_disp_field (cf, ck, cs) (enc "call" []) disp with
+        | Some w -> w
+        | None -> serr "call displacement out of range");
+    mk_set_const =
+      (fun ~reg v ->
+        let v = Eel_util.Word.mask v in
+        [
+          enc "sethi" [ ("rd", reg); ("imm22", v lsr 10) ];
+          enc "or"
+            (("rd", reg) :: ("rs1", reg) :: op2_fields (Instr.O_imm (v land 0x3FF)));
+        ]);
+    mk_jmp_reg =
+      (fun ~rs1 ~op2 ~link ->
+        enc "jmpl" (("rd", link) :: ("rs1", rs1) :: op2_fields op2));
+    mk_ld_word =
+      (fun ~addr_rs1 ~addr_op2 ~dst ->
+        enc "ld" (("rd", dst) :: ("rs1", addr_rs1) :: op2_fields addr_op2));
+    mk_add =
+      (fun ~rs1 ~op2 ~dst -> enc "add" (("rd", dst) :: ("rs1", rs1) :: op2_fields op2));
+    mk_spill =
+      (fun ~reg ~sp_off ->
+        enc "st" (("rd", reg) :: ("rs1", 14) :: op2_fields (Instr.O_imm sp_off)));
+    mk_unspill =
+      (fun ~reg ~sp_off ->
+        enc "ld" (("rd", reg) :: ("rs1", 14) :: op2_fields (Instr.O_imm sp_off)));
+    set_const_hi =
+      (fun word ~value ->
+        let fd = Hashtbl.find el.Elab.fields "imm22" in
+        Eel_util.Word.set_bits ~lo:fd.Elab.f_lo ~hi:fd.Elab.f_hi word
+          (Eel_util.Word.mask value lsr 10));
+    set_const_lo =
+      (fun word ~value ->
+        let fd = Hashtbl.find el.Elab.fields "simm13" in
+        Eel_util.Word.set_bits ~lo:fd.Elab.f_lo ~hi:fd.Elab.f_hi word
+          (Eel_util.Word.mask value land 0x3FF));
+    eval_compute =
+      (fun i ~read ->
+        match Elab.instance el i.Instr.word with
+        | None -> None
+        | Some inst ->
+            let read r = if r = 0 then Some 0 else read r in
+            Analyze.eval_compute_rtl inst.Elab.i_rtl ~read);
+    shift_left =
+      (fun i ->
+        match Elab.instance el i.Instr.word with
+        | Some inst -> (
+            match inst.Elab.i_rtl with
+            | [ [ Ast.S_assign
+                    ( Ast.L_reg _,
+                      Ast.E_bin
+                        (Ast.Shl, Ast.E_reg (_, Ast.E_int src), Ast.E_bin (Ast.And, Ast.E_int k, Ast.E_int 31)) ) ] ]
+              ->
+                Some (src, k land 31)
+            | [ [ Ast.S_assign
+                    ( Ast.L_reg _,
+                      Ast.E_bin (Ast.Shl, Ast.E_reg (_, Ast.E_int src), Ast.E_int k) ) ] ]
+              ->
+                Some (src, k land 31)
+            | _ -> None)
+        | None -> None);
+    mask_bound =
+      (fun i ->
+        match Elab.instance el i.Instr.word with
+        | Some inst -> (
+            let pick = function
+              | Ast.S_assign
+                  ( Ast.L_reg _,
+                    Ast.E_bin (Ast.And, Ast.E_reg (_, Ast.E_int src), Ast.E_int m) )
+              | Ast.S_assign
+                  ( Ast.L_reg _,
+                    Ast.E_bin (Ast.And, Ast.E_int m, Ast.E_reg (_, Ast.E_int src)) )
+                when m >= 0 ->
+                  Some (src, m)
+              | _ -> None
+            in
+            match inst.Elab.i_rtl with
+            | [ stmts ] ->
+                List.fold_left
+                  (fun acc st -> match acc with Some _ -> acc | None -> pick st)
+                  None stmts
+            | _ -> None)
+        | None -> None);
+    asm = (fun ~params src -> Eel_sparc.Asm.parse_snippet ~params src);
+    disas =
+      (fun ~pc word ->
+        ignore pc;
+        match Elab.decode el word with
+        | Some name -> Printf.sprintf "%s 0x%08x" name word
+        | None -> Printf.sprintf ".word 0x%08x" word);
+  }
+
+(** Load and elaborate a description file, returning the machine. *)
+let load_description path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let src = really_input_string ic n in
+  close_in ic;
+  let d = Parser.parse ~source_name:path src in
+  Elab.elaborate d
+
+let mach_of_file path = mach_of (load_description path)

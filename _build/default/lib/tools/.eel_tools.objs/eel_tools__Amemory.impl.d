@@ -1,0 +1,1 @@
+lib/tools/amemory.ml: Array Eel Eel_arch Eel_sef Eel_sparc Eel_util List Printf

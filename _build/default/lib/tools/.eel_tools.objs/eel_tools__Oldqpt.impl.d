@@ -1,0 +1,1 @@
+lib/tools/oldqpt.ml: Array Bytes Eel_sef Eel_sparc Eel_util Insn List Regs

@@ -1,0 +1,1 @@
+lib/tools/optprof.ml: Array Bytes Eel Eel_sef Eel_util Hashtbl List Option Printf Qpt2

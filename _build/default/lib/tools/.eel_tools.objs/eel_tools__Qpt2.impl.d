@@ -1,0 +1,1 @@
+lib/tools/qpt2.ml: Bytes Eel Eel_sef Eel_util List

@@ -1,0 +1,1 @@
+lib/tools/sfi.ml: Array Eel Eel_arch Eel_sef Eel_sparc Insn List Printf

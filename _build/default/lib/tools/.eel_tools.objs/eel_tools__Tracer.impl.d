@@ -1,0 +1,1 @@
+lib/tools/tracer.ml: Array Bytes Eel Eel_arch Eel_sef Eel_util List Printf

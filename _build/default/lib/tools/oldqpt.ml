@@ -1,0 +1,215 @@
+(** oldqpt — an ad-hoc, machine-specific branch-counting instrumenter.
+
+    This is the Table 1 baseline: the counterpart of the original qpt, which
+    was "14,500 non-comment, non-blank lines of C" of hand-written,
+    SPARC-specific rewriting with no reusable abstractions. The tool here is
+    deliberately built the way such tools were:
+
+    - one linear pass over the text segment, no CFG, no liveness;
+    - counter code uses two {e fixed} scavenged registers (%g6/%g7) instead
+      of context-dependent allocation;
+    - a branch sitting in another instruction's delay slot is silently
+      skipped (the classic ad-hoc dodge for delayed-branch complications);
+    - indirect control flow is "handled" by a heuristic sweep that rewrites
+      any data word that looks like a text address — precisely the kind of
+      unreliable trick the paper's §1 warns about ("ad-hoc systems are
+      unlikely to employ reliable, general analyses").
+
+    It is fast and small, and on well-behaved programs (like the generated
+    workloads) it produces working output — which is what makes the
+    comparison with qpt2 meaningful: EEL buys reliability and generality at
+    a measured cost in tool time and allocated objects (experiments E1, E4,
+    E8). *)
+
+module Sef = Eel_sef.Sef
+open Eel_sparc
+module W = Eel_util.Word
+
+type t = {
+  edited : Sef.t;
+  counters : (int * int) list;  (** counter address, original branch pc *)
+  objects : int;  (** rough count of allocations, for experiment E8 *)
+  blocks_seen : int;  (** "old-style" basic-block count, for E4 *)
+}
+
+let counter_words counter_addr =
+  [
+    Insn.encode (Insn.Sethi { rd = Regs.g6; imm22 = counter_addr lsr 10 });
+    Insn.encode
+      (Insn.Mem
+         {
+           op = Insn.Ld;
+           rs1 = Regs.g6;
+           op2 = Insn.O_imm (counter_addr land 0x3FF);
+           rd = Regs.g7;
+         });
+    Insn.encode
+      (Insn.Alu { op = Insn.Add; rs1 = Regs.g7; op2 = Insn.O_imm 1; rd = Regs.g7 });
+    Insn.encode
+      (Insn.Mem
+         {
+           op = Insn.St;
+           rs1 = Regs.g6;
+           op2 = Insn.O_imm (counter_addr land 0x3FF);
+           rd = Regs.g7;
+         });
+  ]
+
+let instrument (exe : Sef.t) =
+  let objects = ref 0 in
+  let text =
+    match Sef.text_sections exe with
+    | [ s ] -> s
+    | _ -> failwith "oldqpt: expected one text section"
+  in
+  let text_lo = text.Sef.vaddr in
+  let n = text.Sef.size / 4 in
+  let word i = Eel_util.Bytebuf.get32_be text.Sef.contents (4 * i) in
+  let align64k a = (a + 0xFFFF) land lnot 0xFFFF in
+  let high = Sef.high_addr exe in
+  let data_base = align64k high in
+  let new_text_base = align64k (data_base + 0x40000) in
+  (* pass 1: decode, decide insertion points, assign new offsets *)
+  let insns = Array.init n (fun i -> Insn.decode (word i)) in
+  objects := !objects + n;
+  let is_delayed = function
+    | Insn.Bicc _ | Insn.Call _ | Insn.Jmpl _ -> true
+    | _ -> false
+  in
+  let in_delay_slot i = i > 0 && is_delayed insns.(i - 1) in
+  let instrument_here i =
+    match insns.(i) with
+    | Insn.Bicc _ -> not (in_delay_slot i)
+    | _ -> false
+  in
+  (* [new_index.(i)] is the word index where original instruction [i]'s
+     code group starts (counter code first, if any); [insn_pos.(i)] is the
+     index of the instruction itself. Transfers are remapped to the group
+     start so instrumented branch targets still get counted. *)
+  (* old-style basic-block count: leaders at transfer targets and after
+     each control transfer (+delay); this is the flat notion of block the
+     original qpt used (paper footnote: "the two programs use slightly
+     different definitions of a basic block") *)
+  let leader = Array.make (n + 1) false in
+  leader.(0) <- true;
+  for i = 0 to n - 1 do
+    (match insns.(i) with
+    | Insn.Bicc { disp22; _ } ->
+        let tgt = i + disp22 in
+        if tgt >= 0 && tgt <= n then leader.(tgt) <- true;
+        if i + 2 <= n then leader.(min n (i + 2)) <- true
+    | Insn.Call { disp30 } ->
+        let tgt = i + disp30 in
+        if tgt >= 0 && tgt <= n then leader.(tgt) <- true;
+        if i + 2 <= n then leader.(min n (i + 2)) <- true
+    | Insn.Jmpl _ -> if i + 2 <= n then leader.(min n (i + 2)) <- true
+    | _ -> ())
+  done;
+  let blocks_seen = ref 0 in
+  for i = 0 to n - 1 do
+    if leader.(i) then incr blocks_seen
+  done;
+  let new_index = Array.make (n + 1) 0 in
+  let insn_pos = Array.make n 0 in
+  let counters = ref [] in
+  let data_cursor = ref data_base in
+  let cursor = ref 0 in
+  for i = 0 to n - 1 do
+    new_index.(i) <- !cursor;
+    if instrument_here i then cursor := !cursor + 4;
+    insn_pos.(i) <- !cursor;
+    incr cursor
+  done;
+  new_index.(n) <- !cursor;
+  let map addr =
+    if addr >= text_lo && addr < text_lo + (4 * n) && addr land 3 = 0 then
+      Some (new_text_base + (4 * new_index.((addr - text_lo) / 4)))
+    else None
+  in
+  (* pass 2: emit *)
+  let out = Bytes.make (4 * !cursor) '\000' in
+  let emit idx w = Eel_util.Bytebuf.set32_be out (4 * idx) w in
+  for i = 0 to n - 1 do
+    let old_pc = text_lo + (4 * i) in
+    let new_pc = new_text_base + (4 * insn_pos.(i)) in
+    (if instrument_here i then (
+       let caddr = !data_cursor in
+       data_cursor := !data_cursor + 4;
+       counters := (caddr, old_pc) :: !counters;
+       objects := !objects + 1;
+       List.iteri (fun k w -> emit (new_index.(i) + k) w) (counter_words caddr)));
+    let w =
+      match insns.(i) with
+      | Insn.Bicc b -> (
+          let old_target = old_pc + (b.disp22 * 4) in
+          match map old_target with
+          | Some nt -> Insn.encode (Insn.Bicc { b with disp22 = (nt - new_pc) asr 2 })
+          | None -> word i)
+      | Insn.Call c -> (
+          let old_target = old_pc + (c.disp30 * 4) in
+          match map old_target with
+          | Some nt -> Insn.encode (Insn.Call { disp30 = (nt - new_pc) asr 2 })
+          | None -> word i)
+      | _ -> word i
+    in
+    emit insn_pos.(i) w
+  done;
+  (* pass 3: the ad-hoc pointer sweep — rewrite anything in the data
+     sections (or non-code text words) that looks like a code address *)
+  let sections =
+    List.map
+      (fun (s : Sef.section) -> { s with Sef.contents = Bytes.copy s.Sef.contents })
+      exe.Sef.sections
+  in
+  List.iter
+    (fun (s : Sef.section) ->
+      if s.Sef.sec_kind = Sef.Data then
+        for k = 0 to (s.Sef.size / 4) - 1 do
+          let v = Eel_util.Bytebuf.get32_be s.Sef.contents (4 * k) in
+          match map v with
+          | Some nv -> Eel_util.Bytebuf.set32_be s.Sef.contents (4 * k) nv
+          | None -> ()
+        done
+      else if s.Sef.sec_kind = Sef.Text then
+        (* non-code words inside text (jump tables): same sweep *)
+        for k = 0 to (s.Sef.size / 4) - 1 do
+          let w = Eel_util.Bytebuf.get32_be s.Sef.contents (4 * k) in
+          (* a word is "probably data" if it decodes invalid *)
+          match Insn.decode w with
+          | Insn.Invalid _ | Insn.Unimp _ -> (
+              match map w with
+              | Some nv -> Eel_util.Bytebuf.set32_be s.Sef.contents (4 * k) nv
+              | None -> ())
+          | _ -> ()
+        done)
+    sections;
+  let counter_sec =
+    {
+      Sef.sec_name = ".oldqpt.data";
+      sec_kind = Sef.Bss;
+      vaddr = data_base;
+      size = max 8 (!data_cursor - data_base);
+      contents = Bytes.empty;
+    }
+  in
+  let text_sec =
+    {
+      Sef.sec_name = ".oldqpt.text";
+      sec_kind = Sef.Text;
+      vaddr = new_text_base;
+      size = Bytes.length out;
+      contents = out;
+    }
+  in
+  let entry =
+    match map exe.Sef.entry with Some e -> e | None -> exe.Sef.entry
+  in
+  {
+    edited =
+      Sef.create ~entry
+        ~sections:(sections @ [ counter_sec; text_sec ])
+        ~symbols:exe.Sef.symbols;
+    counters = List.rev !counters;
+    objects = !objects;
+    blocks_seen = !blocks_seen;
+  }

@@ -1,0 +1,95 @@
+(** qpt2 — the EEL-based profiler (paper Fig. 1 and Table 1).
+
+    Follows the paper's branch-counting tool structure exactly: for every
+    routine (and every hidden routine discovered along the way), place a
+    counter snippet along each editable outgoing edge of every basic block
+    with more than one successor, then produce the edited routine. Counter
+    memory is reserved in the executable's added-data region, so the edited
+    program counts its own edge executions as it runs; {!counts} reads the
+    values back out of an emulator that ran it. *)
+
+module E = Eel.Executable
+module C = Eel.Cfg
+module Snippet = Eel.Snippet
+
+type counter = {
+  c_addr : int;  (** counter word's address in the edited program *)
+  c_routine : string;
+  c_block : int;  (** source block id *)
+  c_edge : int;  (** edge id within the routine's CFG *)
+}
+
+type t = {
+  edited : Eel_sef.Sef.t;
+  counters : counter list;
+  exec : E.t;
+  skipped_uneditable : int;  (** edges that could not carry code (§3.3) *)
+}
+
+(* paper Fig. 2: increment a counter word at a tool-chosen address *)
+let incr_count mach counter_addr =
+  Snippet.of_asm mach
+    ~params:[ ("counter", counter_addr) ]
+    {|
+        sethi %hi($counter), %v0
+        ld [%v0 + %lo($counter)], %v1
+        add %v1, 1, %v1
+        st %v1, [%v0 + %lo($counter)]
+|}
+
+(* paper Fig. 1: instrument one routine *)
+let instrument_routine t (r : E.routine) counters skipped =
+  let g = E.control_flow_graph t r in
+  let ed = E.editor t r in
+  List.iter
+    (fun (b : C.block) ->
+      if b.C.reachable && List.length b.C.succs > 1 then
+        List.iter
+          (fun (e : C.edge) ->
+            if e.C.e_editable then (
+              let addr = E.reserve_data t 4 in
+              counters :=
+                {
+                  c_addr = addr;
+                  c_routine = r.E.r_name;
+                  c_block = b.C.bid;
+                  c_edge = e.C.eid;
+                }
+                :: !counters;
+              Eel.Edit.add_along ed e (incr_count t.E.mach addr))
+            else incr skipped)
+          b.C.succs)
+    (C.blocks g);
+  E.produce_edited_routine t r;
+  E.delete_control_flow_graph r
+
+(** [instrument mach exe] — the whole tool (paper Fig. 1's [main]). *)
+let instrument ?(cache_instrs = true) ?(fold_delay = true) mach exe =
+  let t = E.read_contents ~cache_instrs mach exe in
+  t.E.fold_delay <- fold_delay;
+  let counters = ref [] in
+  let skipped = ref 0 in
+  List.iter (fun r -> instrument_routine t r counters skipped) (E.routines t);
+  (* "while (!exec->hidden_routines()->is_empty()) ..." *)
+  let rec drain () =
+    match E.take_hidden t with
+    | Some r ->
+        instrument_routine t r counters skipped;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  let edited = E.to_edited_sef t () in
+  {
+    edited;
+    counters = List.rev !counters;
+    exec = t;
+    skipped_uneditable = !skipped;
+  }
+
+(** Read counter values from the memory of an emulator that ran the edited
+    program. *)
+let counts (prof : t) (mem : Bytes.t) =
+  List.map
+    (fun c -> (c, Eel_util.Bytebuf.get32_be mem c.c_addr))
+    prof.counters

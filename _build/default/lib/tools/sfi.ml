@@ -1,0 +1,99 @@
+(** Software fault isolation (sandboxing) — paper §1, citing Wahbe et al.
+    [27]: "software fault isolation (sandboxing) implements protection
+    domains by modifying code to prevent it from referencing or transferring
+    control out of its domain."
+
+    Every store's effective address is forced into a power-of-two sandbox
+    segment before the store executes: [addr' = (addr & (size-1)) | base].
+    The original store is deleted and replaced by a store through the
+    sandboxed address (held in a scavenged register). Stores that already
+    cannot escape are still rewritten — the transformation is meant to be
+    sound without proving anything about the program.
+
+    This demonstrates EEL's {e delete + insert} editing (paper §3.3.1) as
+    opposed to the purely additive instrumentation of qpt2/Active Memory. *)
+
+module E = Eel.Executable
+module C = Eel.Cfg
+module Snippet = Eel.Snippet
+module Instr = Eel_arch.Instr
+open Eel_sparc
+
+type t = {
+  edited : Eel_sef.Sef.t;
+  seg_base : int;
+  seg_size : int;
+  guarded : int;  (** stores rewritten *)
+  skipped_uneditable : int;
+}
+
+(* sandboxed replacement for a store: compute, mask, re-base, store.
+   %v0 = sandboxed address. The store's value register is site-specific. *)
+let guard_asm mach (i : Instr.t) ~seg_base ~seg_size =
+  let rn = mach.Eel_arch.Machine.reg_name in
+  let ea =
+    match i.Instr.ea with
+    | Some (rs1, Instr.O_imm k) -> Printf.sprintf "        add %s, %d, %%v0\n" (rn rs1) k
+    | Some (rs1, Instr.O_reg r2) ->
+        Printf.sprintf "        add %s, %s, %%v0\n" (rn rs1) (rn r2)
+    | None -> invalid_arg "sfi: not a memory instruction"
+  in
+  (* which store, and of what register? re-emit with the sandboxed base *)
+  let store =
+    match Insn.decode i.Instr.word with
+    | Insn.Mem { op; rd; _ } when Insn.mem_is_store op ->
+        Printf.sprintf "        %s %s, [%%v0]\n" (Insn.mem_name op) (rn rd)
+    | _ -> invalid_arg "sfi: not a store"
+  in
+  ea
+  ^ Printf.sprintf
+      {|        sethi %%hi(%d), %%v1
+        or %%v1, %%lo(%d), %%v1
+        and %%v0, %%v1, %%v0
+        sethi %%hi(%d), %%v1
+        or %%v0, %%v1, %%v0
+|}
+      (seg_size - 1) (seg_size - 1) seg_base
+  ^ store
+
+(** [instrument mach exe ~seg_base ~seg_size] rewrites every editable store
+    to stay within [seg_base, seg_base+seg_size). [seg_size] must be a
+    power of two and [seg_base] aligned to it. *)
+let instrument mach exe ~seg_base ~seg_size =
+  if seg_size land (seg_size - 1) <> 0 then invalid_arg "sfi: size not a power of 2";
+  if seg_base land (seg_size - 1) <> 0 then invalid_arg "sfi: base misaligned";
+  let t = E.read_contents mach exe in
+  let guarded = ref 0 and skipped = ref 0 in
+  let do_routine (r : E.routine) =
+    let g = E.control_flow_graph t r in
+    let ed = E.editor t r in
+    List.iter
+      (fun (b : C.block) ->
+        if b.C.reachable && not b.C.is_data then
+          Array.iteri
+            (fun idx (_, (i : Instr.t)) ->
+              if i.Instr.cat = Instr.Store then
+                if not b.C.editable then incr skipped
+                else (
+                  let s =
+                    Snippet.of_asm mach (guard_asm mach i ~seg_base ~seg_size)
+                  in
+                  Eel.Edit.add_before ed b idx s;
+                  Eel.Edit.delete ed b idx;
+                  incr guarded))
+            b.C.instrs)
+      (C.blocks g);
+    E.produce_edited_routine t r
+  in
+  List.iter do_routine (E.routines t);
+  let rec drain () =
+    match E.take_hidden t with Some r -> do_routine r; drain () | None -> ()
+  in
+  drain ();
+  {
+    edited = E.to_edited_sef t ();
+    seg_base;
+    seg_size;
+    guarded = !guarded;
+    skipped_uneditable = !skipped;
+  }

@@ -1,0 +1,98 @@
+(** Address tracer — qpt's second mode (paper §1: "profiling and tracing
+    tools, such as MIPS's pixie or qpt, edit executables to record execution
+    frequencies or trace memory references").
+
+    Before every editable load and store, a snippet appends the effective
+    address to an in-memory trace buffer through a bump pointer. The trace
+    is validated against the emulator's own memory-event stream (the ground
+    truth a hardware-level tracer would see). The buffer wraps at a
+    power-of-two size, so long runs are safe; tests use runs that fit. *)
+
+module E = Eel.Executable
+module C = Eel.Cfg
+module Snippet = Eel.Snippet
+module Instr = Eel_arch.Instr
+
+type t = {
+  edited : Eel_sef.Sef.t;
+  buf_addr : int;  (** trace buffer base *)
+  buf_size : int;
+  ptr_addr : int;  (** bump pointer (byte offset within the buffer) *)
+  instrumented : int;
+  skipped_uneditable : int;
+}
+
+let trace_asm mach (i : Instr.t) ~buf ~ptr ~mask =
+  let rn = mach.Eel_arch.Machine.reg_name in
+  let ea =
+    match i.Instr.ea with
+    | Some (rs1, Instr.O_imm k) ->
+        Printf.sprintf "        add %s, %d, %%v0\n" (rn rs1) k
+    | Some (rs1, Instr.O_reg r2) ->
+        Printf.sprintf "        add %s, %s, %%v0\n" (rn rs1) (rn r2)
+    | None -> invalid_arg "tracer: not a memory instruction"
+  in
+  ea
+  ^ Printf.sprintf
+      {|        sethi %%hi(%d), %%v1
+        ld [%%v1 + %%lo(%d)], %%v2
+        sethi %%hi(%d), %%v3
+        or %%v3, %%lo(%d), %%v3
+        st %%v0, [%%v3 + %%v2]
+        add %%v2, 4, %%v2
+        sethi %%hi(%d), %%v3
+        or %%v3, %%lo(%d), %%v3
+        and %%v2, %%v3, %%v2
+        sethi %%hi(%d), %%v1
+        st %%v2, [%%v1 + %%lo(%d)]
+|}
+      ptr ptr buf buf mask mask ptr ptr
+
+(** [instrument mach exe] adds address tracing to every editable memory
+    reference. [buf_size] must be a power of two (default 1 MiB). *)
+let instrument ?(buf_size = 1 lsl 20) mach exe =
+  if buf_size land (buf_size - 1) <> 0 then invalid_arg "tracer: buffer size";
+  let t = E.read_contents mach exe in
+  let buf_addr = E.reserve_data t buf_size in
+  let ptr_addr = E.reserve_data t 4 in
+  let instrumented = ref 0 and skipped = ref 0 in
+  let do_routine (r : E.routine) =
+    let g = E.control_flow_graph t r in
+    let ed = E.editor t r in
+    List.iter
+      (fun (b : C.block) ->
+        if b.C.reachable && not b.C.is_data then
+          Array.iteri
+            (fun idx (_, (i : Instr.t)) ->
+              if Instr.is_memory i then
+                if not b.C.editable then incr skipped
+                else (
+                  let s =
+                    Snippet.of_asm mach
+                      (trace_asm mach i ~buf:buf_addr ~ptr:ptr_addr
+                         ~mask:(buf_size - 1))
+                  in
+                  Eel.Edit.add_before ed b idx s;
+                  incr instrumented))
+            b.C.instrs)
+      (C.blocks g);
+    E.produce_edited_routine t r
+  in
+  List.iter do_routine (E.routines t);
+  let rec drain () =
+    match E.take_hidden t with Some r -> do_routine r; drain () | None -> ()
+  in
+  drain ();
+  {
+    edited = E.to_edited_sef t ();
+    buf_addr;
+    buf_size;
+    ptr_addr;
+    instrumented = !instrumented;
+    skipped_uneditable = !skipped;
+  }
+
+(** Extract the recorded addresses from the memory of a finished run. *)
+let trace (tr : t) (mem : Bytes.t) =
+  let n = Eel_util.Bytebuf.get32_be mem tr.ptr_addr / 4 in
+  List.init n (fun k -> Eel_util.Bytebuf.get32_be mem (tr.buf_addr + (4 * k)))

@@ -1,0 +1,1 @@
+lib/util/word.ml: Format Printf

@@ -1,0 +1,52 @@
+(** A minimal growable array (OCaml 5.1 predates [Dynarray]). *)
+
+type 'a t = { mutable data : 'a array; mutable len : int }
+
+let create () = { data = [||]; len = 0 }
+
+let length t = t.len
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Dyn.get";
+  t.data.(i)
+
+let set t i v =
+  if i < 0 || i >= t.len then invalid_arg "Dyn.set";
+  t.data.(i) <- v
+
+let push t v =
+  if t.len = Array.length t.data then (
+    let cap = max 8 (2 * Array.length t.data) in
+    let data = Array.make cap v in
+    Array.blit t.data 0 data 0 t.len;
+    t.data <- data);
+  t.data.(t.len) <- v;
+  t.len <- t.len + 1
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.data.(i)
+  done
+
+let iteri f t =
+  for i = 0 to t.len - 1 do
+    f i t.data.(i)
+  done
+
+let fold f init t =
+  let acc = ref init in
+  iter (fun v -> acc := f !acc v) t;
+  !acc
+
+let to_list t = List.rev (fold (fun acc v -> v :: acc) [] t)
+
+let of_list l =
+  let t = create () in
+  List.iter (push t) l;
+  t
+
+let exists p t =
+  let rec go i = i < t.len && (p t.data.(i) || go (i + 1)) in
+  go 0
+
+let to_array t = Array.init t.len (fun i -> t.data.(i))

@@ -1,0 +1,1 @@
+lib/workload/gen.ml: Array Buffer Eel_sparc List Printf Random String

@@ -1,0 +1,416 @@
+(** Synthetic workload generator.
+
+    The paper evaluates EEL on SPEC92 binaries compiled by gcc 2.6.2 (SunOS)
+    and SunPro sc3.0.1 (Solaris). This generator is the repository's
+    substitute (DESIGN.md): it emits deterministic, seeded assembly programs
+    exhibiting the code idioms those compilers produced, so that the
+    evaluation statistics (indirect-jump analyzability, uneditable-edge
+    fraction, CFG block mix) are driven by the same {e shapes} of code:
+
+    - loops with delayed and annulled loop branches;
+    - if/else chains, including annulled-branch variants;
+    - case statements dispatching through address tables (in [.data] or in
+      the {e text} segment, where they double as data-vs-code tests);
+    - call DAGs with callee-saved register discipline and return-address
+      spills (delay slots after calls are the dominant uneditable blocks);
+    - [Sunpro] style adds the tail-call idiom that produced all 138
+      unanalyzable indirect jumps in the paper's Solaris measurement: the
+      callee's address is loaded from memory and jumped through, with the
+      target outside the jumping routine;
+    - optional symbol-table pathologies: hidden routines reached through
+      function pointers, data tables in text with misleading [Func] symbols,
+      interprocedural jumps creating multiple entry points, and
+      debug/internal label pollution (§3.1 stages 1–4).
+
+    Programs print a checksum, so an edited executable's correctness is
+    checked by comparing output — not just by not crashing. *)
+
+type style = Gcc | Sunpro
+
+type config = {
+  seed : int;
+  routines : int;  (** number of synthetic leaf/interior routines *)
+  style : style;
+  case_frac : float;  (** fraction of routines containing a case dispatch *)
+  loop_frac : float;
+  call_frac : float;
+  mem_frac : float;
+  hidden_routines : int;  (** routines reachable only via function pointers *)
+  data_tables_in_text : int;  (** jump tables placed in the text segment *)
+  multi_entry : int;  (** routines with an extra, jumped-to entry point *)
+  pathological_symbols : bool;  (** debug/internal label pollution *)
+  body_stmts : int * int;  (** min/max statements per routine body *)
+  tail_frac : float;  (** [Sunpro] tail-call idiom probability *)
+}
+
+let default =
+  {
+    seed = 42;
+    routines = 20;
+    style = Gcc;
+    case_frac = 0.45;
+    loop_frac = 0.7;
+    call_frac = 0.5;
+    mem_frac = 0.5;
+    hidden_routines = 1;
+    data_tables_in_text = 1;
+    multi_entry = 1;
+    pathological_symbols = true;
+    body_stmts = (6, 14);
+    tail_frac = 0.06;
+  }
+
+type ctx = {
+  rng : Random.State.t;
+  buf : Buffer.t;
+  data : Buffer.t;  (** .data section items *)
+  mutable label : int;
+  cfg : config;
+}
+
+let line ctx fmt = Printf.ksprintf (fun s -> Buffer.add_string ctx.buf (s ^ "\n")) fmt
+
+let dline ctx fmt =
+  Printf.ksprintf (fun s -> Buffer.add_string ctx.data (s ^ "\n")) fmt
+
+let fresh ctx prefix =
+  ctx.label <- ctx.label + 1;
+  Printf.sprintf "L%s%d" prefix ctx.label
+
+let rnd ctx n = Random.State.int ctx.rng n
+
+let prob ctx p = Random.State.float ctx.rng 1.0 < p
+
+(* locals: %l0..%l3 hold routine state; %l0 is the accumulator *)
+let locals = [| "%l0"; "%l1"; "%l2"; "%l3" |]
+
+let local ctx = locals.(rnd ctx 4)
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let stmt_arith ctx =
+  let ops = [| "add"; "sub"; "xor"; "and"; "or" |] in
+  let op = ops.(rnd ctx (Array.length ops)) in
+  let d = local ctx in
+  match rnd ctx 3 with
+  | 0 -> line ctx "        %s %s, %d, %s" op d (1 + rnd ctx 3000) d
+  | 1 -> line ctx "        %s %s, %s, %s" op (local ctx) (local ctx) d
+  | _ ->
+      line ctx "        sll %s, %d, %s" (local ctx) (1 + rnd ctx 3) d;
+      line ctx "        srl %s, %d, %s" d (1 + rnd ctx 2) d
+
+let stmt_loop ctx body =
+  let l = fresh ctx "loop" in
+  let n = 2 + rnd ctx 6 in
+  let counter = "%l4" in
+  line ctx "        mov %d, %s" n counter;
+  line ctx "%s:" l;
+  body ();
+  line ctx "        subcc %s, 1, %s" counter counter;
+  if prob ctx 0.4 then (
+    (* annulled loop branch: the delay instruction executes only when the
+       branch is taken (one more iteration) — classic SPARC loop shape *)
+    line ctx "        bne,a %s" l;
+    line ctx "        add %%l0, 1, %%l0")
+  else (
+    line ctx "        bne %s" l;
+    line ctx "        nop")
+
+let stmt_if ctx =
+  let lelse = fresh ctx "else" and lend = fresh ctx "fi" in
+  line ctx "        cmp %s, %d" (local ctx) (rnd ctx 500);
+  let conds = [| "be"; "bne"; "bg"; "ble"; "bgu"; "bcs" |] in
+  let c = conds.(rnd ctx (Array.length conds)) in
+  if prob ctx 0.3 then (
+    (* annulled if: skip one instruction when untaken *)
+    line ctx "        %s,a %s" c lend;
+    line ctx "        add %%l1, 3, %%l1")
+  else (
+    line ctx "        %s %s" c lelse;
+    line ctx "        nop";
+    stmt_arith ctx;
+    line ctx "        ba %s" lend;
+    line ctx "        nop";
+    line ctx "%s:" lelse;
+    stmt_arith ctx);
+  line ctx "%s:" lend
+
+let stmt_case ctx ~in_text =
+  let k = [| 2; 4; 8 |].(rnd ctx 3) in
+  let tab = fresh ctx "tab" in
+  let arms = List.init k (fun _ -> fresh ctx "case") in
+  let lend = fresh ctx "esac" in
+  line ctx "        and %%l0, %d, %%l5" (k - 1);
+  line ctx "        sll %%l5, 2, %%l5";
+  line ctx "        set %s, %%l6" tab;
+  line ctx "        ld [%%l6 + %%l5], %%l6";
+  line ctx "        jmp %%l6";
+  line ctx "        nop";
+  List.iteri
+    (fun i arm ->
+      line ctx "%s:" arm;
+      line ctx "        add %%l0, %d, %%l0" (i + 1);
+      line ctx "        ba %s" lend;
+      line ctx "        nop")
+    arms;
+  line ctx "%s:" lend;
+  let words = String.concat ", " arms in
+  if in_text then (
+    (* dispatch table in the text segment: data-vs-code discrimination *)
+    line ctx "        .align 4";
+    (* place it after the routine body via a skip *)
+    let skip = fresh ctx "skip" in
+    line ctx "        ba %s" skip;
+    line ctx "        nop";
+    line ctx "%s: .word %s" tab words;
+    line ctx "%s:" skip)
+  else (
+    dline ctx "        .align 4";
+    dline ctx "%s: .word %s" tab words)
+
+let stmt_mem ctx =
+  let idx = rnd ctx 64 * 4 in
+  (match rnd ctx 3 with
+  | 0 ->
+      line ctx "        set gbuf, %%l5";
+      line ctx "        st %s, [%%l5 + %d]" (local ctx) idx;
+      line ctx "        ld [%%l5 + %d], %s" idx (local ctx)
+  | 1 ->
+      line ctx "        set gbuf, %%l5";
+      line ctx "        stb %s, [%%l5 + %d]" (local ctx) (idx + 1);
+      line ctx "        ldub [%%l5 + %d], %s" (idx + 1) (local ctx)
+  | _ ->
+      line ctx "        set gbuf, %%l5";
+      line ctx "        sth %s, [%%l5 + %d]" (local ctx) (idx + 2);
+      line ctx "        ldsh [%%l5 + %d], %s" (idx + 2) (local ctx))
+
+let stmt_call ctx callee =
+  line ctx "        mov %%l0, %%o0";
+  if prob ctx 0.5 then (
+    line ctx "        call %s" callee;
+    line ctx "        nop")
+  else (
+    (* useful work in the call's delay slot *)
+    line ctx "        call %s" callee;
+    line ctx "        add %%o0, 1, %%o0");
+  line ctx "        xor %%l0, %%o0, %%l0"
+
+(* ------------------------------------------------------------------ *)
+(* Routines                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let fn_name i = Printf.sprintf "fn%d" i
+
+(* frame: [%sp] = %o7, [%sp+4..] = saved %l0-%l6, 32 bytes total + pad *)
+let frame_size = 48
+
+let routine_body ctx ~idx ~name ~callees =
+  line ctx "%s:" name;
+  line ctx "        sub %%sp, %d, %%sp" frame_size;
+  line ctx "        st %%o7, [%%sp]";
+  for k = 0 to 6 do
+    line ctx "        st %%l%d, [%%sp + %d]" k (4 + (4 * k))
+  done;
+  line ctx "        mov %%o0, %%l0";
+  line ctx "        mov %d, %%l1" (idx + 1);
+  line ctx "        mov %d, %%l2" ((idx * 17) land 0xFF);
+  line ctx "        mov %d, %%l3" ((idx * 31) land 0x7F);
+  let lo, hi = ctx.cfg.body_stmts in
+  let nstmts = lo + rnd ctx (max 1 (hi - lo)) in
+  for _ = 1 to nstmts do
+    match rnd ctx 10 with
+    | 0 | 1 | 2 -> stmt_arith ctx
+    | 3 | 4 ->
+        if prob ctx ctx.cfg.loop_frac then stmt_loop ctx (fun () -> stmt_arith ctx)
+        else stmt_arith ctx
+    | 5 | 6 -> stmt_if ctx
+    | 7 ->
+        if prob ctx ctx.cfg.case_frac then stmt_case ctx ~in_text:false
+        else stmt_if ctx
+    | 8 ->
+        if prob ctx ctx.cfg.mem_frac then stmt_mem ctx else stmt_arith ctx
+    | _ -> (
+        match callees with
+        | [] -> stmt_arith ctx
+        | cs ->
+            if prob ctx ctx.cfg.call_frac then
+              stmt_call ctx (List.nth cs (rnd ctx (List.length cs)))
+            else stmt_arith ctx)
+  done;
+  (* keep results bounded *)
+  line ctx "        and %%l0, 1023, %%l0";
+  line ctx "        mov %%l0, %%o0";
+  (* epilogue *)
+  line ctx "        ld [%%sp], %%o7";
+  for k = 0 to 6 do
+    line ctx "        ld [%%sp + %d], %%l%d" (4 + (4 * k)) k
+  done;
+  line ctx "        retl";
+  line ctx "        add %%sp, %d, %%sp" frame_size
+
+let routine ctx ~idx ~name ~callees ~tail_target =
+  match tail_target with
+  | None -> routine_body ctx ~idx ~name ~callees
+  | Some callee ->
+      line ctx "%s:" name;
+      line ctx "        sub %%sp, %d, %%sp" frame_size;
+      line ctx "        st %%o7, [%%sp]";
+      line ctx "        st %%l0, [%%sp + 4]";
+      line ctx "        mov %%o0, %%l0";
+      stmt_arith ctx;
+      line ctx "        and %%l0, 1023, %%l0";
+      line ctx "        mov %%l0, %%o0";
+      line ctx "        ld [%%sp + 4], %%l0";
+      line ctx "        ld [%%sp], %%o7";
+      (* load the callee's address from memory and tail-jump: the slice
+         cannot bound the target (it leaves the routine) *)
+      let ptr = fresh ctx "tail" in
+      dline ctx "        .align 4";
+      dline ctx "%s: .word %s" ptr callee;
+      line ctx "        set %s, %%g1" ptr;
+      line ctx "        ld [%%g1], %%g1";
+      line ctx "        jmp %%g1";
+      line ctx "        add %%sp, %d, %%sp" frame_size
+
+(* ------------------------------------------------------------------ *)
+(* Whole programs                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(** [program cfg] generates a complete assembly program. Deterministic in
+    [cfg.seed]. The program prints one checksum line and exits 0. *)
+let program (cfg : config) =
+  let ctx =
+    {
+      rng = Random.State.make [| cfg.seed |];
+      buf = Buffer.create 65536;
+      data = Buffer.create 4096;
+      label = 0;
+      cfg;
+    }
+  in
+  line ctx "        .text";
+  line ctx "        .global main";
+  (* ---- main ---- *)
+  line ctx "main:";
+  line ctx "        mov 0, %%l7";
+  let n = max 1 cfg.routines in
+  for i = 0 to n - 1 do
+    line ctx "        mov %d, %%o0" ((i * 7) land 0xFF);
+    line ctx "        call %s" (fn_name i);
+    line ctx "        nop";
+    line ctx "        xor %%l7, %%o0, %%l7"
+  done;
+  (* call hidden routines through function pointers *)
+  for h = 0 to cfg.hidden_routines - 1 do
+    line ctx "        set hptr%d, %%l6" h;
+    line ctx "        ld [%%l6], %%l6";
+    line ctx "        mov %d, %%o0" (h + 3);
+    line ctx "        jmpl %%l6, %%o7";
+    line ctx "        nop";
+    line ctx "        xor %%l7, %%o0, %%l7"
+  done;
+  (* enter the multi-entry routines through their side doors *)
+  if cfg.multi_entry > 0 then (
+    line ctx "        mov 5, %%o0";
+    line ctx "        call me0_entry2";
+    line ctx "        nop";
+    line ctx "        xor %%l7, %%o0, %%l7");
+  line ctx "        mov %%l7, %%o0";
+  line ctx "        ta 2";
+  line ctx "        mov 0, %%o0";
+  line ctx "        ta 1";
+  (* ---- regular routines (call DAG: fn_i may call fn_j, j < i) ---- *)
+  for i = 0 to n - 1 do
+    let callees =
+      List.filteri (fun j _ -> j >= i - 4 && j < i) (List.init n fn_name)
+    in
+    let tail_target =
+      if cfg.style = Sunpro && i > 0 && prob ctx cfg.tail_frac then
+        Some (fn_name (rnd ctx i))
+      else None
+    in
+    (if cfg.pathological_symbols && i mod 7 = 3 then (
+       line ctx "        .debugsym %s" (fn_name i)));
+    routine ctx ~idx:i ~name:(fn_name i) ~callees ~tail_target;
+    (* occasionally a dispatch table in the text segment right after the
+       routine, with a misleading Func-looking symbol *)
+    if i < cfg.data_tables_in_text then (
+      line ctx "        .align 4";
+      line ctx "ttab%d: .word %s, %s" i (fn_name i) (fn_name i);
+      if cfg.pathological_symbols then
+        line ctx "        .symat fake_fn%d ttab%d func" i i)
+  done;
+  (* ---- hidden routines (no symbols; reached via pointers) ---- *)
+  for h = 0 to cfg.hidden_routines - 1 do
+    let name = Printf.sprintf "hfn%d" h in
+    line ctx "        .nosym %s" name;
+    line ctx "%s:" name;
+    line ctx "        sll %%o0, 1, %%o0";
+    line ctx "        retl";
+    line ctx "        add %%o0, %d, %%o0" (h + 1);
+    dline ctx "        .align 4";
+    dline ctx "hptr%d: .word %s" h name
+  done;
+  (* ---- multi-entry routines ---- *)
+  for m = 0 to cfg.multi_entry - 1 do
+    let name = Printf.sprintf "me%d" m in
+    line ctx "%s:" name;
+    line ctx "        add %%o0, 100, %%o0";
+    (* the second entry: a non-symbol label, called directly by main *)
+    line ctx "        .nosym %s_entry2" name;
+    line ctx "%s_entry2:" name;
+    line ctx "        retl";
+    line ctx "        add %%o0, 1, %%o0"
+  done;
+  (* ---- data ---- *)
+  line ctx "        .data";
+  Buffer.add_buffer ctx.buf ctx.data;
+  line ctx "        .bss";
+  line ctx "        .align 8";
+  line ctx "gbuf:   .space 4096";
+  Buffer.contents ctx.buf
+
+(** A memory-intensive program for the Active Memory experiment (E6):
+    repeated strided walks over an array, parameterized by iteration count
+    and working-set size. *)
+let memory_bound ?(iters = 50) ?(size_words = 1024) () =
+  Printf.sprintf
+    {|
+        .text
+        .global main
+main:   mov %d, %%l0            ! outer iterations
+        mov 0, %%l3              ! checksum
+Louter: set gbuf, %%l1
+        mov %d, %%l2             ! words per pass
+Lwalk:  ld [%%l1], %%l4
+        add %%l4, 1, %%l4
+        st %%l4, [%%l1]
+        xor %%l3, %%l4, %%l3
+        add %%l1, 4, %%l1
+        subcc %%l2, 1, %%l2
+        bne Lwalk
+        nop
+        subcc %%l0, 1, %%l0
+        bne Louter
+        nop
+        mov %%l3, %%o0
+        ta 2
+        mov 0, %%o0
+        ta 1
+        .bss
+        .align 8
+gbuf:   .space %d
+|}
+    iters size_words (4 * size_words)
+
+(** The "spim-like" program for Table 1: a sizable mixed workload. *)
+let spim_like ?(seed = 7) ?(routines = 120) ?(style = Gcc) () =
+  program { default with seed; routines; style }
+
+(** Convenience: generate and assemble. *)
+let assemble_program cfg =
+  match Eel_sparc.Asm.assemble (program cfg) with
+  | Ok exe -> exe
+  | Error m -> failwith ("workload generation produced bad assembly: " ^ m)

@@ -1,0 +1,1 @@
+test/test_callgraph.ml: Alcotest Asm Eel Eel_sparc Eel_workload List Mach Printf String

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Asm Eel Eel_arch Eel_emu Eel_sef Eel_sparc Eel_tools Eel_util Eel_workload List Mach Option QCheck QCheck_alcotest

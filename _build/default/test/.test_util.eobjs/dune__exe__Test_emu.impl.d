@@ -1,0 +1,1 @@
+test/test_emu.ml: Alcotest Asm Eel_emu Eel_sef Eel_sparc String

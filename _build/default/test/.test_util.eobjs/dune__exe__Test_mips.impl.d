@@ -1,0 +1,1 @@
+test/test_mips.ml: Alcotest Bytes Eel_arch Eel_emu Eel_sef Eel_spawn Eel_util Lazy List Option Sys

@@ -1,0 +1,1 @@
+test/test_sparc.ml: Alcotest Array Asm Eel_arch Eel_sef Eel_sparc Hashtbl Insn Lift List Mach Printf QCheck QCheck_alcotest Regs String

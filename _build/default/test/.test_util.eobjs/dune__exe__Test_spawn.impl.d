@@ -1,0 +1,1 @@
+test/test_spawn.ml: Alcotest Asm Eel Eel_arch Eel_emu Eel_sef Eel_sparc Eel_spawn Eel_tools Eel_util Eel_workload Format Insn Lazy List Mach Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_tools.ml: Alcotest Asm Eel Eel_emu Eel_sef Eel_sparc Eel_tools Eel_util Eel_workload Hashtbl Insn List Mach Option Printf

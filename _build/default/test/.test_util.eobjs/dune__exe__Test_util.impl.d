@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Buffer Bytebuf Bytes Char Eel_util List QCheck QCheck_alcotest Word

@@ -1,0 +1,133 @@
+(* Tests for interprocedural call graphs (paper footnote 1: "EEL also
+   supports interprocedural analysis and call graphs"). *)
+
+module E = Eel.Executable
+module CG = Eel.Callgraph
+open Eel_sparc
+
+let mach = Mach.mach
+
+let assemble src =
+  match Asm.assemble src with
+  | Ok exe -> exe
+  | Error m -> Alcotest.failf "assembly failed: %s" m
+
+let test_direct_calls () =
+  let exe =
+    assemble
+      {|
+main:   call a
+        nop
+        call b
+        nop
+        mov 0, %o0
+        ta 1
+a:      call b
+        nop
+        retl
+        nop
+b:      retl
+        nop
+|}
+  in
+  let cg = CG.build (E.read_contents mach exe) in
+  Alcotest.(check (list string)) "main calls a,b" [ "a"; "b" ] (CG.callees cg "main");
+  Alcotest.(check (list string)) "a calls b" [ "b" ] (CG.callees cg "a");
+  Alcotest.(check (list string)) "b's callers" [ "a"; "main" ] (CG.callers cg "b");
+  (* bottom-up order: callees before callers *)
+  let order = CG.bottom_up cg in
+  let pos n =
+    let rec go i = function
+      | [] -> -1
+      | x :: r -> if x = n then i else go (i + 1) r
+    in
+    go 0 order
+  in
+  Alcotest.(check bool) "b before a" true (pos "b" < pos "a");
+  Alcotest.(check bool) "a before main" true (pos "a" < pos "main")
+
+let test_indirect_resolved () =
+  (* a function pointer loaded from a constant location: the slice binds the
+     indirect call to its callee *)
+  let exe =
+    assemble
+      {|
+main:   set fptr, %l0
+        ld [%l0], %l1
+        jmpl %l1, %o7
+        nop
+        mov 0, %o0
+        ta 1
+target: retl
+        nop
+        .data
+        .align 4
+fptr:   .word target
+|}
+  in
+  let cg = CG.build (E.read_contents mach exe) in
+  Alcotest.(check (list string)) "indirect call resolved" [ "target" ]
+    (CG.callees cg "main")
+
+let test_tail_transfer () =
+  let exe =
+    assemble
+      {|
+main:   ba Lother
+        nop
+        mov 0, %o0
+        ta 1
+f:      mov 1, %o0
+Lother: mov 0, %o0
+        ta 1
+|}
+  in
+  let cg = CG.build (E.read_contents mach exe) in
+  Alcotest.(check bool) "tail transfer recorded" true
+    (List.exists
+       (fun (e : CG.cedge) ->
+         e.CG.caller = "main" && e.CG.callee = "f" && e.CG.kind = CG.Tail_transfer)
+       cg.CG.cedges)
+
+let test_workload_dag () =
+  (* the generator builds a call DAG: fn_i only calls fn_j with j < i, so
+     bottom_up must list lower-numbered routines first *)
+  let exe =
+    assemble
+      (Eel_workload.Gen.program
+         { Eel_workload.Gen.default with routines = 15; seed = 33 })
+  in
+  let t = E.read_contents mach exe in
+  let cg = CG.build t in
+  List.iter
+    (fun (e : CG.cedge) ->
+      if
+        e.CG.kind = CG.Direct_call
+        && String.length e.CG.caller > 2
+        && String.sub e.CG.caller 0 2 = "fn"
+        && String.length e.CG.callee > 2
+        && String.sub e.CG.callee 0 2 = "fn"
+      then
+        let n s = int_of_string (String.sub s 2 (String.length s - 2)) in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s -> %s is a DAG edge" e.CG.caller e.CG.callee)
+          true
+          (n e.CG.callee < n e.CG.caller))
+    cg.CG.cedges;
+  Alcotest.(check bool) "has many edges" true (List.length cg.CG.cedges > 10);
+  (* hidden routines are nodes too (main reaches them via pointers) *)
+  Alcotest.(check bool) "hidden routine is a node" true
+    (List.exists (fun n -> n = "hidden_0x10034" || String.length n > 6
+                           && String.sub n 0 6 = "hidden") cg.CG.nodes)
+
+let () =
+  Alcotest.run "callgraph"
+    [
+      ( "callgraph",
+        [
+          Alcotest.test_case "direct calls" `Quick test_direct_calls;
+          Alcotest.test_case "indirect resolved" `Quick test_indirect_resolved;
+          Alcotest.test_case "tail transfer" `Quick test_tail_transfer;
+          Alcotest.test_case "workload DAG" `Quick test_workload_dag;
+        ] );
+    ]

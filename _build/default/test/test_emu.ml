@@ -1,0 +1,443 @@
+(* Tests for the SPARC emulator: arithmetic, condition codes, memory,
+   delayed control transfers (including annul semantics — the behaviours
+   EEL's CFG normalization must mirror), system calls, and faults. *)
+
+module Sef = Eel_sef.Sef
+open Eel_sparc
+module Emu = Eel_emu.Emu
+
+let run src =
+  match Asm.assemble src with
+  | Error m -> Alcotest.failf "assembly failed: %s" m
+  | Ok exe -> fst (Emu.run_exe exe)
+
+let check_out src expected =
+  let r = run src in
+  Alcotest.(check string) "output" expected r.Emu.out;
+  r
+
+let exit0 = "        mov 0, %o0\n        ta 1\n        nop\n"
+
+let test_arith () =
+  let r =
+    check_out
+      ({|
+main:   mov 6, %l0
+        mov 7, %l1
+        smul %l0, %l1, %l2
+        mov %l2, %o0
+        ta 2
+|}
+      ^ exit0)
+      "42\n"
+  in
+  Alcotest.(check int) "exit code" 0 r.Emu.exit_code
+
+let test_neg_values () =
+  ignore
+    (check_out
+       ({|
+main:   mov 10, %l0
+        sub %g0, %l0, %l1       ! -10
+        mov %l1, %o0
+        ta 2
+        sra %l1, 1, %o0         ! -5
+        ta 2
+|}
+       ^ exit0)
+       "-10\n-5\n")
+
+let test_cc_branches () =
+  (* count down from 5, printing each value: exercises subcc + bne *)
+  ignore
+    (check_out
+       ({|
+main:   mov 5, %l0
+Lloop:  mov %l0, %o0
+        ta 2
+        subcc %l0, 1, %l0
+        bne Lloop
+        nop
+|}
+       ^ exit0)
+       "5\n4\n3\n2\n1\n")
+
+let test_unsigned_branches () =
+  (* bgu/bleu on values with the sign bit set *)
+  ignore
+    (check_out
+       ({|
+main:   set 0x80000000, %l0
+        cmp %l0, 1
+        bgu Lbig
+        nop
+        mov 0, %o0
+        ba Lout
+        nop
+Lbig:   mov 1, %o0
+Lout:   ta 2
+|}
+       ^ exit0)
+       "1\n")
+
+let test_delay_slot_executes () =
+  (* the instruction in a non-annulled taken branch's delay slot executes *)
+  ignore
+    (check_out
+       ({|
+main:   mov 1, %l0
+        ba Lnext
+        add %l0, 10, %l0        ! delay slot: executes
+Lnext:  mov %l0, %o0
+        ta 2
+|}
+       ^ exit0)
+       "11\n")
+
+let test_annulled_taken () =
+  (* bcc,a: delay slot executes when the branch is taken *)
+  ignore
+    (check_out
+       ({|
+main:   mov 1, %l0
+        cmp %l0, 1
+        be,a Lnext
+        add %l0, 10, %l0        ! executes (taken)
+        add %l0, 100, %l0       ! skipped
+Lnext:  mov %l0, %o0
+        ta 2
+|}
+       ^ exit0)
+       "11\n")
+
+let test_annulled_untaken () =
+  (* bcc,a: delay slot squashed when the branch falls through *)
+  ignore
+    (check_out
+       ({|
+main:   mov 1, %l0
+        cmp %l0, 2
+        be,a Lnext
+        add %l0, 10, %l0        ! annulled (untaken)
+Lnext:  mov %l0, %o0
+        ta 2
+|}
+       ^ exit0)
+       "1\n")
+
+let test_ba_annulled () =
+  (* ba,a: delay slot never executes *)
+  ignore
+    (check_out
+       ({|
+main:   mov 1, %l0
+        ba,a Lnext
+        add %l0, 10, %l0        ! annulled always
+Lnext:  mov %l0, %o0
+        ta 2
+|}
+       ^ exit0)
+       "1\n")
+
+let test_call_and_return () =
+  ignore
+    (check_out
+       ({|
+main:   call double
+        mov 21, %o0             ! delay slot sets the argument
+        ta 2
+|}
+       ^ exit0
+       ^ {|
+double: retl
+        add %o0, %o0, %o0       ! delay slot computes the result
+|})
+       "42\n")
+
+let test_call_delay_after_call () =
+  (* the delay slot of a call executes before the callee *)
+  ignore
+    (check_out
+       ({|
+main:   mov 1, %o0
+        call show
+        add %o0, 1, %o0         ! executes first: callee sees 2
+        mov 9, %o0
+        ta 2
+|}
+       ^ exit0
+       ^ {|
+show:   mov %o0, %o1
+        mov %o1, %o0
+        ta 2
+        retl
+        nop
+|})
+       "2\n9\n")
+
+let test_memory () =
+  ignore
+    (check_out
+       ({|
+main:   set buf, %l0
+        mov 258, %l1
+        st %l1, [%l0]
+        ld [%l0], %o0
+        ta 2
+        sth %l1, [%l0 + 8]
+        lduh [%l0 + 8], %o0
+        ta 2
+        stb %l1, [%l0 + 12]
+        ldub [%l0 + 12], %o0
+        ta 2
+        mov -1, %l2
+        stb %l2, [%l0 + 13]
+        ldsb [%l0 + 13], %o0
+        ta 2
+|}
+       ^ exit0 ^ {|
+        .bss
+        .align 8
+buf:    .space 32
+|})
+       "258\n258\n2\n-1\n")
+
+let test_ldd_std () =
+  ignore
+    (check_out
+       ({|
+main:   set buf, %l0
+        mov 7, %l2
+        mov 9, %l3
+        std %l2, [%l0]
+        ldd [%l0], %o2
+        mov %o2, %o0
+        ta 2
+        mov %o3, %o0
+        ta 2
+|}
+       ^ exit0 ^ {|
+        .data
+        .align 8
+buf:    .word 0, 0
+|})
+       "7\n9\n")
+
+let test_jump_table_dispatch () =
+  ignore
+    (check_out
+       ({|
+main:   mov 1, %o0              ! select case 1
+        set table, %l0
+        sll %o0, 2, %l1
+        ld [%l0 + %l1], %l2
+        jmp %l2
+        nop
+c0:     mov 100, %o0
+        ba Lend
+        nop
+c1:     mov 200, %o0
+        ba Lend
+        nop
+Lend:   ta 2
+|}
+       ^ exit0 ^ {|
+        .data
+        .align 4
+table:  .word c0, c1
+|})
+       "200\n")
+
+let test_write_syscall () =
+  ignore
+    (check_out
+       ({|
+main:   set msg, %o0
+        mov 6, %o1
+        ta 4
+|}
+       ^ exit0 ^ {|
+        .data
+msg:    .ascii "hello\n"
+|})
+       "hello\n")
+
+let test_cycles_syscall () =
+  let r = run ({|
+main:   ta 7
+        mov %o0, %l0
+        ta 7
+        sub %o0, %l0, %o0
+        ta 2
+|} ^ exit0) in
+  (* two instructions elapse between the two reads: mov and the second ta *)
+  Alcotest.(check string) "cycle delta" "2\n" r.Emu.out
+
+let test_recursion () =
+  (* fib(10) = 89 (with fib(0) = fib(1) = 1) using an explicit stack *)
+  ignore
+    (check_out
+       ({|
+main:   mov 10, %o0
+        call fib
+        nop
+        ta 2
+|}
+       ^ exit0
+       ^ {|
+fib:    cmp %o0, 2
+        bl Lbase
+        nop
+        sub %sp, 16, %sp
+        st %o7, [%sp]
+        st %o0, [%sp + 4]
+        call fib
+        sub %o0, 1, %o0
+        st %o0, [%sp + 8]
+        ld [%sp + 4], %o0
+        call fib
+        sub %o0, 2, %o0
+        ld [%sp + 8], %o1
+        add %o0, %o1, %o0
+        ld [%sp], %o7
+        add %sp, 16, %sp
+        retl
+        nop
+Lbase:  retl
+        mov 1, %o0
+|})
+       "89\n")
+
+let test_counters () =
+  let r = run ({|
+main:   set buf, %l0
+        ld [%l0], %l1
+        st %l1, [%l0 + 4]
+        ld [%l0 + 4], %l2
+|} ^ exit0 ^ "\n .data\n .align 4\nbuf: .word 5, 0\n") in
+  Alcotest.(check int) "loads" 2 r.Emu.loads;
+  Alcotest.(check int) "stores" 1 r.Emu.stores;
+  Alcotest.(check int) "insns" 7 r.Emu.insns
+
+let test_fault_illegal () =
+  let exe =
+    match Asm.assemble "main: .word 0\n nop\n" with
+    | Ok e -> e
+    | Error m -> Alcotest.failf "asm: %s" m
+  in
+  match Emu.run_exe exe with
+  | exception Emu.Fault _ -> ()
+  | _ -> Alcotest.fail "expected illegal-instruction fault"
+
+let test_fault_misaligned () =
+  let exe =
+    match
+      Asm.assemble "main: set buf, %l0\n ld [%l0 + 2], %l1\n nop\n .data\nbuf: .word 0"
+    with
+    | Ok e -> e
+    | Error m -> Alcotest.failf "asm: %s" m
+  in
+  match Emu.run_exe exe with
+  | exception Emu.Fault msg ->
+      Alcotest.(check bool) "mentions misaligned" true
+        (String.length msg > 0)
+  | _ -> Alcotest.fail "expected alignment fault"
+
+let test_fault_wild_pc () =
+  let exe =
+    match Asm.assemble "main: jmp %g0 + 0\n nop\n nop\n" with
+    | Ok e -> e
+    | Error m -> Alcotest.failf "asm: %s" m
+  in
+  match Emu.run_exe exe with
+  | exception Emu.Fault _ -> ()
+  | _ -> Alcotest.fail "expected fault jumping to 0"
+
+let test_out_of_fuel () =
+  let exe =
+    match Asm.assemble "main: ba main\n nop\n" with
+    | Ok e -> e
+    | Error m -> Alcotest.failf "asm: %s" m
+  in
+  match Emu.run_exe ~fuel:1000 exe with
+  | exception Emu.Out_of_fuel -> ()
+  | _ -> Alcotest.fail "expected fuel exhaustion"
+
+let test_event_hook () =
+  let exe =
+    match
+      Asm.assemble
+        ("main: set buf, %l0\n st %g0, [%l0]\n ld [%l0], %l1\n" ^ exit0
+       ^ " .data\n .align 4\nbuf: .word 1")
+    with
+    | Ok e -> e
+    | Error m -> Alcotest.failf "asm: %s" m
+  in
+  let loads = ref 0 and stores = ref 0 and execs = ref 0 in
+  let hook = function
+    | Emu.Ev_load _ -> incr loads
+    | Emu.Ev_store _ -> incr stores
+    | Emu.Ev_exec _ -> incr execs
+  in
+  let r, _ = Emu.run_exe ~hook exe in
+  Alcotest.(check int) "hook loads" 1 !loads;
+  Alcotest.(check int) "hook stores" 1 !stores;
+  Alcotest.(check int) "hook execs" r.Emu.insns !execs
+
+let test_y_register () =
+  (* umul writes Y with the high half *)
+  ignore
+    (check_out
+       ({|
+main:   set 0x10000, %l0
+        umul %l0, %l0, %l1      ! 2^32: low word 0, Y = 1
+        rd %y, %o0
+        ta 2
+        mov %l1, %o0
+        ta 2
+|}
+       ^ exit0)
+       "1\n0\n")
+
+let () =
+  Alcotest.run "emu"
+    [
+      ( "alu",
+        [
+          Alcotest.test_case "arith" `Quick test_arith;
+          Alcotest.test_case "negative values" `Quick test_neg_values;
+          Alcotest.test_case "condition codes" `Quick test_cc_branches;
+          Alcotest.test_case "unsigned compares" `Quick test_unsigned_branches;
+          Alcotest.test_case "y register" `Quick test_y_register;
+        ] );
+      ( "delay-slots",
+        [
+          Alcotest.test_case "delay slot executes" `Quick test_delay_slot_executes;
+          Alcotest.test_case "annulled taken" `Quick test_annulled_taken;
+          Alcotest.test_case "annulled untaken" `Quick test_annulled_untaken;
+          Alcotest.test_case "ba,a" `Quick test_ba_annulled;
+          Alcotest.test_case "call+return" `Quick test_call_and_return;
+          Alcotest.test_case "call delay order" `Quick test_call_delay_after_call;
+        ] );
+      ( "memory",
+        [
+          Alcotest.test_case "widths" `Quick test_memory;
+          Alcotest.test_case "ldd/std" `Quick test_ldd_std;
+          Alcotest.test_case "jump table" `Quick test_jump_table_dispatch;
+          Alcotest.test_case "counters" `Quick test_counters;
+        ] );
+      ( "syscalls",
+        [
+          Alcotest.test_case "write" `Quick test_write_syscall;
+          Alcotest.test_case "cycles" `Quick test_cycles_syscall;
+          Alcotest.test_case "recursion" `Quick test_recursion;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "illegal instruction" `Quick test_fault_illegal;
+          Alcotest.test_case "misaligned access" `Quick test_fault_misaligned;
+          Alcotest.test_case "wild jump" `Quick test_fault_wild_pc;
+          Alcotest.test_case "fuel" `Quick test_out_of_fuel;
+          Alcotest.test_case "event hook" `Quick test_event_hook;
+        ] );
+    ]

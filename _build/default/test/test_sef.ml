@@ -1,0 +1,153 @@
+(* Tests for the SEF executable format: serialization round trips, section
+   and symbol access, stripping, patching. *)
+
+module Sef = Eel_sef.Sef
+
+let mk_section name kind vaddr contents =
+  {
+    Sef.sec_name = name;
+    sec_kind = kind;
+    vaddr;
+    size = Bytes.length contents;
+    contents;
+  }
+
+let sample () =
+  let text = Bytes.make 16 '\000' in
+  Eel_util.Bytebuf.set32_be text 0 0x01000000;
+  Eel_util.Bytebuf.set32_be text 4 0x40000002;
+  let data = Bytes.of_string "hello world!" in
+  Sef.create ~entry:0x10000
+    ~sections:
+      [
+        mk_section ".text" Sef.Text 0x10000 text;
+        mk_section ".data" Sef.Data 0x12000 data;
+        { Sef.sec_name = ".bss"; sec_kind = Sef.Bss; vaddr = 0x13000; size = 64; contents = Bytes.empty };
+      ]
+    ~symbols:
+      [
+        { Sef.sym_name = "main"; value = 0x10000; sym_size = 8; kind = Sef.Func; global = true };
+        { Sef.sym_name = "msg"; value = 0x12000; sym_size = 12; kind = Sef.Object; global = false };
+        { Sef.sym_name = "Ltmp"; value = 0x10004; sym_size = 0; kind = Sef.Label; global = false };
+      ]
+
+let test_roundtrip () =
+  let t = sample () in
+  let t' = Sef.of_string (Sef.to_string t) in
+  Alcotest.(check int) "entry" t.Sef.entry t'.Sef.entry;
+  Alcotest.(check int) "sections" 3 (List.length t'.Sef.sections);
+  Alcotest.(check int) "symbols" 3 (List.length t'.Sef.symbols);
+  let txt = Option.get (Sef.find_section t' ".text") in
+  Alcotest.(check int) "text word" 0x01000000 (Eel_util.Bytebuf.get32_be txt.Sef.contents 0);
+  let bss = Option.get (Sef.find_section t' ".bss") in
+  Alcotest.(check int) "bss size preserved" 64 bss.Sef.size;
+  Alcotest.(check int) "bss stores no bytes" 0 (Bytes.length bss.Sef.contents)
+
+let test_file_roundtrip () =
+  let t = sample () in
+  let path = Filename.temp_file "eel_test" ".sef" in
+  Sef.write_file path t;
+  let t' = Sef.read_file path in
+  Sys.remove path;
+  Alcotest.(check string) "identical bytes" (Sef.to_string t) (Sef.to_string t')
+
+let test_bad_magic () =
+  Alcotest.check_raises "bad magic" (Failure "SEF: bad magic") (fun () ->
+      ignore (Sef.of_string "XXXX garbage"))
+
+let test_fetch32 () =
+  let t = sample () in
+  Alcotest.(check (option int)) "fetch text" (Some 0x40000002) (Sef.fetch32 t 0x10004);
+  Alcotest.(check (option int)) "fetch out of range" None (Sef.fetch32 t 0x50000);
+  Alcotest.(check (option int)) "no fetch from bss" None (Sef.fetch32 t 0x13000);
+  (* fetch across the end of a section fails *)
+  Alcotest.(check (option int)) "fetch at section end" None (Sef.fetch32 t 0x1000E)
+
+let test_patch32 () =
+  let t = sample () in
+  Alcotest.(check bool) "patch ok" true (Sef.patch32 t 0x10008 0xDEADBEEF);
+  Alcotest.(check (option int)) "patched" (Some 0xDEADBEEF) (Sef.fetch32 t 0x10008);
+  Alcotest.(check bool) "patch outside fails" false (Sef.patch32 t 0x90000 0)
+
+let test_section_at () =
+  let t = sample () in
+  Alcotest.(check (option string)) "text" (Some ".text")
+    (Option.map (fun s -> s.Sef.sec_name) (Sef.section_at t 0x1000F));
+  Alcotest.(check (option string)) "bss" (Some ".bss")
+    (Option.map (fun s -> s.Sef.sec_name) (Sef.section_at t 0x1303F));
+  Alcotest.(check (option string)) "hole" None
+    (Option.map (fun s -> s.Sef.sec_name) (Sef.section_at t 0x11000))
+
+let test_strip () =
+  let t = Sef.strip (sample ()) in
+  Alcotest.(check int) "no symbols" 0 (List.length t.Sef.symbols);
+  Alcotest.(check int) "sections intact" 3 (List.length t.Sef.sections)
+
+let test_sizes () =
+  let t = sample () in
+  Alcotest.(check int) "image size counts text+data" 28 (Sef.image_size t);
+  Alcotest.(check int) "high addr includes bss" (0x13000 + 64) (Sef.high_addr t)
+
+(* Property: serialization round-trips on random small executables. *)
+let arb_sef =
+  let open QCheck.Gen in
+  let section i =
+    let* size = int_range 4 64 in
+    let* kind = oneofl [ Sef.Text; Sef.Data; Sef.Bss ] in
+    let* fill = int_bound 255 in
+    return
+      {
+        Sef.sec_name = Printf.sprintf ".s%d" i;
+        sec_kind = kind;
+        vaddr = 0x1000 * (i + 1);
+        size;
+        contents = (if kind = Sef.Bss then Bytes.empty else Bytes.make size (Char.chr fill));
+      }
+  in
+  let gen =
+    let* nsec = int_range 1 4 in
+    let* sections =
+      flatten_l (List.init nsec section)
+    in
+    let* nsym = int_range 0 6 in
+    let* symbols =
+      flatten_l
+        (List.init nsym (fun i ->
+             let* kind = oneofl [ Sef.Func; Sef.Object; Sef.Label; Sef.Debug ] in
+             let* global = bool in
+             return
+               {
+                 Sef.sym_name = Printf.sprintf "sym%d" i;
+                 value = 0x1000 + (i * 4);
+                 sym_size = i;
+                 kind;
+                 global;
+               }))
+    in
+    return (Sef.create ~entry:0x1000 ~sections ~symbols)
+  in
+  QCheck.make gen
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"SEF serialization roundtrip" ~count:200 arb_sef (fun t ->
+      Sef.to_string (Sef.of_string (Sef.to_string t)) = Sef.to_string t)
+
+let () =
+  Alcotest.run "sef"
+    [
+      ( "format",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+          Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
+          Alcotest.test_case "bad magic" `Quick test_bad_magic;
+        ] );
+      ( "access",
+        [
+          Alcotest.test_case "fetch32" `Quick test_fetch32;
+          Alcotest.test_case "patch32" `Quick test_patch32;
+          Alcotest.test_case "section_at" `Quick test_section_at;
+          Alcotest.test_case "strip" `Quick test_strip;
+          Alcotest.test_case "sizes" `Quick test_sizes;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_roundtrip ]);
+    ]

@@ -1,0 +1,536 @@
+(* Tests for the handwritten SPARC layer: decode/encode round trips, the
+   lifter's categories and register sets, the disassembler, and the
+   assembler (program and snippet modes). *)
+
+open Eel_sparc
+module I = Eel_arch.Instr
+module Regset = Eel_arch.Regset
+
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* decode/encode                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let roundtrip insn =
+  let w = Insn.encode insn in
+  let insn' = Insn.decode w in
+  Alcotest.(check string)
+    (Printf.sprintf "roundtrip %s" (Insn.to_string insn))
+    (Insn.to_string insn) (Insn.to_string insn')
+
+let test_encode_roundtrip () =
+  roundtrip (Insn.Sethi { rd = 3; imm22 = 0x12345 });
+  roundtrip (Insn.Bicc { cond = Insn.CNE; annul = true; disp22 = -12 });
+  roundtrip (Insn.Bicc { cond = Insn.CA; annul = false; disp22 = 100 });
+  roundtrip (Insn.Call { disp30 = 1024 });
+  roundtrip (Insn.Call { disp30 = -1024 });
+  roundtrip (Insn.Alu { op = Insn.Add; rs1 = 1; op2 = Insn.O_imm (-5); rd = 2 });
+  roundtrip (Insn.Alu { op = Insn.Subcc; rs1 = 17; op2 = Insn.O_reg 18; rd = 0 });
+  roundtrip (Insn.Alu { op = Insn.Sll; rs1 = 9; op2 = Insn.O_imm 31; rd = 9 });
+  roundtrip (Insn.Jmpl { rs1 = 15; op2 = Insn.O_imm 8; rd = 0 });
+  roundtrip (Insn.Mem { op = Insn.Ld; rs1 = 14; op2 = Insn.O_imm 64; rd = 8 });
+  roundtrip (Insn.Mem { op = Insn.St; rs1 = 14; op2 = Insn.O_reg 3; rd = 8 });
+  roundtrip (Insn.Ticc { cond = Insn.CA; rs1 = 0; op2 = Insn.O_imm 1 });
+  roundtrip (Insn.Rdy { rd = 5 });
+  roundtrip (Insn.Wry { rs1 = 5; op2 = Insn.O_imm 0 })
+
+let test_known_encodings () =
+  (* Independently computed SPARC V8 encodings. *)
+  check_int "nop = sethi 0,%g0" 0x01000000 (Insn.encode Insn.nop);
+  (* call with displacement +8 bytes: 0x40000002 *)
+  check_int "call .+8" 0x40000002 (Insn.encode (Insn.Call { disp30 = 2 }));
+  (* ba 0x10 bytes ahead: op2=010 cond=1000 => 0x10800004 *)
+  check_int "ba .+16" 0x10800004
+    (Insn.encode (Insn.Bicc { cond = Insn.CA; annul = false; disp22 = 4 }));
+  (* add %g1, %g2, %g3 = 0x86004002? rd=3 op3=0 rs1=1 rs2=2:
+     10 00011 000000 00001 0 00000000 00010 *)
+  check_int "add %g1,%g2,%g3" 0x86004002
+    (Insn.encode (Insn.Alu { op = Insn.Add; rs1 = 1; op2 = Insn.O_reg 2; rd = 3 }));
+  (* ld [%sp+4], %o0: 11 01000 000000 01110 1 0000000000100 *)
+  check_int "ld [%sp+4],%o0" 0xD003A004
+    (Insn.encode (Insn.Mem { op = Insn.Ld; rs1 = 14; op2 = Insn.O_imm 4; rd = 8 }))
+
+let test_invalid_decodes () =
+  let is_invalid w =
+    match Insn.decode w with Insn.Invalid _ | Insn.Unimp _ -> true | _ -> false
+  in
+  Alcotest.(check bool) "zero word is not code" true (is_invalid 0);
+  (* FP op2 patterns decode invalid *)
+  Alcotest.(check bool) "fbfcc invalid" true (is_invalid 0x1D800001);
+  (* reserved asi bits make register-form invalid *)
+  let w =
+    Insn.encode (Insn.Alu { op = Insn.Add; rs1 = 1; op2 = Insn.O_reg 2; rd = 3 })
+  in
+  Alcotest.(check bool) "asi bits invalid" true (is_invalid (w lor (0xFF lsl 5)));
+  (* odd rd on ldd invalid *)
+  Alcotest.(check bool) "ldd odd rd" true
+    (is_invalid ((0b11 lsl 30) lor (3 lsl 25) lor (0x03 lsl 19)));
+  Alcotest.(check bool) "text word is valid" true
+    (Insn.is_valid_word (Insn.encode (Insn.Call { disp30 = 0 })))
+
+(* Property: encode/decode round-trips over random valid instructions. *)
+let arb_insn =
+  let open QCheck.Gen in
+  let reg = int_bound 31 in
+  let operand =
+    oneof [ map (fun r -> Insn.O_reg r) reg; map (fun i -> Insn.O_imm (i - 4096)) (int_bound 8191) ]
+  in
+  let alu_ops =
+    [| Insn.Add; Insn.And; Insn.Or; Insn.Xor; Insn.Sub; Insn.Andn; Insn.Orn;
+       Insn.Xnor; Insn.Umul; Insn.Smul; Insn.Udiv; Insn.Sdiv; Insn.Addcc;
+       Insn.Andcc; Insn.Orcc; Insn.Xorcc; Insn.Subcc; Insn.Save; Insn.Restore |]
+  in
+  let mem_ops =
+    [| Insn.Ld; Insn.Ldub; Insn.Lduh; Insn.Ldd; Insn.St; Insn.Stb; Insn.Sth;
+       Insn.Std; Insn.Ldsb; Insn.Ldsh |]
+  in
+  let conds =
+    [| Insn.CN; Insn.CE; Insn.CLE; Insn.CL; Insn.CLEU; Insn.CCS; Insn.CNEG;
+       Insn.CVS; Insn.CA; Insn.CNE; Insn.CG; Insn.CGE; Insn.CGU; Insn.CCC;
+       Insn.CPOS; Insn.CVC |]
+  in
+  QCheck.make
+    (oneof
+       [
+         map2 (fun rd imm22 -> Insn.Sethi { rd; imm22 }) reg (int_bound 0x3FFFFF);
+         map3
+           (fun c a d -> Insn.Bicc { cond = c; annul = a; disp22 = d - (1 lsl 21) })
+           (map (fun i -> conds.(i)) (int_bound 15))
+           bool
+           (int_bound ((1 lsl 22) - 1));
+         map (fun d -> Insn.Call { disp30 = d - (1 lsl 29) }) (int_bound ((1 lsl 30) - 1));
+         (let* op = map (fun i -> alu_ops.(i)) (int_bound (Array.length alu_ops - 1)) in
+          let* rs1 = reg and* op2 = operand and* rd = reg in
+          return (Insn.Alu { op; rs1; op2; rd }));
+         (let* op = map (fun i -> mem_ops.(i)) (int_bound (Array.length mem_ops - 1)) in
+          let* rs1 = reg and* op2 = operand and* rd = reg in
+          let rd = if op = Insn.Ldd || op = Insn.Std then rd land 30 else rd in
+          return (Insn.Mem { op; rs1; op2; rd }));
+         (let* rs1 = reg and* op2 = operand and* rd = reg in
+          return (Insn.Jmpl { rs1; op2; rd }));
+       ])
+
+let prop_decode_encode =
+  QCheck.Test.make ~name:"decode (encode i) = i" ~count:2000 arb_insn (fun i ->
+      Insn.decode (Insn.encode i) = i)
+
+let prop_decode_total =
+  QCheck.Test.make ~name:"decode total on random words" ~count:5000
+    QCheck.(int_bound 0xFFFFFFF)
+    (fun w ->
+      let w = w * 17 land 0xFFFFFFFF in
+      match Insn.decode w with
+      | Insn.Invalid _ -> true
+      | i -> Insn.encode i = w)
+
+(* ------------------------------------------------------------------ *)
+(* Lifter                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let lift i = Lift.lift (Insn.encode i)
+
+let test_lift_categories () =
+  let cat i = (lift i).I.cat in
+  Alcotest.(check string) "branch" "branch"
+    (I.category_name (cat (Insn.Bicc { cond = Insn.CNE; annul = false; disp22 = 4 })));
+  Alcotest.(check string) "call" "call" (I.category_name (cat (Insn.Call { disp30 = 4 })));
+  Alcotest.(check string) "ret" "return"
+    (I.category_name (cat (Insn.Jmpl { rs1 = Regs.i7; op2 = Insn.O_imm 8; rd = 0 })));
+  Alcotest.(check string) "retl" "return"
+    (I.category_name (cat (Insn.Jmpl { rs1 = Regs.o7; op2 = Insn.O_imm 8; rd = 0 })));
+  Alcotest.(check string) "indirect call" "call_indirect"
+    (I.category_name (cat (Insn.Jmpl { rs1 = 3; op2 = Insn.O_imm 0; rd = Regs.o7 })));
+  Alcotest.(check string) "indirect jump" "jump_indirect"
+    (I.category_name (cat (Insn.Jmpl { rs1 = 3; op2 = Insn.O_reg 4; rd = 0 })));
+  Alcotest.(check string) "load" "load"
+    (I.category_name (cat (Insn.Mem { op = Insn.Ld; rs1 = 14; op2 = Insn.O_imm 0; rd = 8 })));
+  Alcotest.(check string) "store" "store"
+    (I.category_name (cat (Insn.Mem { op = Insn.St; rs1 = 14; op2 = Insn.O_imm 0; rd = 8 })));
+  Alcotest.(check string) "syscall" "syscall"
+    (I.category_name (cat (Insn.Ticc { cond = Insn.CA; rs1 = 0; op2 = Insn.O_imm 1 })));
+  Alcotest.(check string) "compute" "compute"
+    (I.category_name (cat (Insn.Alu { op = Insn.Add; rs1 = 1; op2 = Insn.O_imm 1; rd = 1 })));
+  Alcotest.(check string) "invalid" "invalid" (I.category_name (Lift.lift 0).I.cat)
+
+let test_lift_regsets () =
+  let i = lift (Insn.Alu { op = Insn.Subcc; rs1 = 17; op2 = Insn.O_reg 18; rd = 19 }) in
+  Alcotest.(check bool) "reads rs1" true (Regset.mem 17 i.I.reads);
+  Alcotest.(check bool) "reads rs2" true (Regset.mem 18 i.I.reads);
+  Alcotest.(check bool) "writes rd" true (Regset.mem 19 i.I.writes);
+  Alcotest.(check bool) "writes icc" true (Regset.mem Regs.icc i.I.writes);
+  let b = lift (Insn.Bicc { cond = Insn.CNE; annul = false; disp22 = 4 }) in
+  Alcotest.(check bool) "branch reads icc" true (Regset.mem Regs.icc b.I.reads);
+  let ba = lift (Insn.Bicc { cond = Insn.CA; annul = true; disp22 = 4 }) in
+  Alcotest.(check bool) "ba reads nothing" true (Regset.is_empty ba.I.reads);
+  let ldd = lift (Insn.Mem { op = Insn.Ldd; rs1 = 14; op2 = Insn.O_imm 0; rd = 8 }) in
+  Alcotest.(check bool) "ldd writes pair" true
+    (Regset.mem 8 ldd.I.writes && Regset.mem 9 ldd.I.writes);
+  let call = lift (Insn.Call { disp30 = 4 }) in
+  Alcotest.(check bool) "call writes %o7" true (Regset.mem Regs.o7 call.I.writes)
+
+let test_lift_targets () =
+  let b = lift (Insn.Bicc { cond = Insn.CNE; annul = false; disp22 = 3 }) in
+  Alcotest.(check (option int)) "branch target" (Some 0x100C)
+    (I.abs_target ~pc:0x1000 b);
+  let c = lift (Insn.Call { disp30 = -4 }) in
+  Alcotest.(check (option int)) "call target" (Some 0xFF0) (I.abs_target ~pc:0x1000 c);
+  Alcotest.(check bool) "branch is delayed" true b.I.delayed;
+  Alcotest.(check bool) "conditional falls through" true (I.falls_through b);
+  let ba = lift (Insn.Bicc { cond = Insn.CA; annul = false; disp22 = 3 }) in
+  Alcotest.(check bool) "ba does not fall through" false (I.falls_through ba)
+
+let test_eval_compute () =
+  let read _ = None in
+  let sethi = lift (Insn.Sethi { rd = 3; imm22 = 0x123 }) in
+  Alcotest.(check (option (pair int int))) "sethi const" (Some (3, 0x123 lsl 10))
+    (Lift.eval_compute sethi ~read);
+  let or_ = lift (Insn.Alu { op = Insn.Or; rs1 = 3; op2 = Insn.O_imm 0x45; rd = 3 }) in
+  let read r = if r = 3 then Some 0x1000 else None in
+  Alcotest.(check (option (pair int int))) "or folds" (Some (3, 0x1045))
+    (Lift.eval_compute or_ ~read);
+  let add_g0 = lift (Insn.Alu { op = Insn.Add; rs1 = 0; op2 = Insn.O_imm 7; rd = 5 }) in
+  Alcotest.(check (option (pair int int))) "g0 is zero" (Some (5, 7))
+    (Lift.eval_compute add_g0 ~read:(fun _ -> None));
+  let unknown = lift (Insn.Alu { op = Insn.Add; rs1 = 9; op2 = Insn.O_imm 7; rd = 5 }) in
+  Alcotest.(check (option (pair int int))) "unknown input" None
+    (Lift.eval_compute unknown ~read:(fun _ -> None))
+
+(* ------------------------------------------------------------------ *)
+(* Registers                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_reg_names () =
+  check_str "g0" "%g0" (Regs.name 0);
+  check_str "o7" "%o7" (Regs.name 15);
+  check_str "l3" "%l3" (Regs.name 19);
+  check_str "i7" "%i7" (Regs.name 31);
+  Alcotest.(check (option int)) "parse %sp" (Some 14) (Regs.of_name "%sp");
+  Alcotest.(check (option int)) "parse %fp" (Some 30) (Regs.of_name "%fp");
+  Alcotest.(check (option int)) "parse %r17" (Some 17) (Regs.of_name "%r17");
+  Alcotest.(check (option int)) "parse %v2" (Some (Regs.v0 + 2)) (Regs.of_name "%v2");
+  Alcotest.(check (option int)) "reject junk" None (Regs.of_name "%x3");
+  Alcotest.(check (option int)) "reject %g9" None (Regs.of_name "%g9");
+  (* name/of_name roundtrip over all real registers *)
+  for r = 0 to 31 do
+    Alcotest.(check (option int)) (Printf.sprintf "roundtrip r%d" r)
+      (Some r) (Regs.of_name (Regs.name r))
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Assembler                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let assemble_ok src =
+  match Asm.assemble src with
+  | Ok exe -> exe
+  | Error m -> Alcotest.failf "assembly failed: %s" m
+
+let fetch exe addr =
+  match Eel_sef.Sef.fetch32 exe addr with
+  | Some w -> w
+  | None -> Alcotest.failf "no word at 0x%x" addr
+
+let test_asm_basic () =
+  let exe =
+    assemble_ok
+      {|
+        .text
+        .global main
+main:   add %g1, 5, %g2
+        nop
+        retl
+        nop
+|}
+  in
+  let base = 0x10000 in
+  Alcotest.(check int) "entry" base exe.Eel_sef.Sef.entry;
+  check_str "first insn" "add %g1, 5, %g2"
+    (Insn.to_string (Insn.decode (fetch exe base)));
+  check_str "second insn" "nop" (Insn.to_string (Insn.decode (fetch exe (base + 4))));
+  check_str "retl" "retl" (Insn.to_string (Insn.decode (fetch exe (base + 8))))
+
+let test_asm_branches_and_labels () =
+  let exe =
+    assemble_ok
+      {|
+main:   cmp %o0, 3
+        bne,a L1
+        add %o1, 1, %o1
+L1:     ba main
+        nop
+|}
+  in
+  let base = 0x10000 in
+  (match Insn.decode (fetch exe (base + 4)) with
+  | Insn.Bicc { cond = Insn.CNE; annul = true; disp22 = 2 } -> ()
+  | i -> Alcotest.failf "bad branch: %s" (Insn.to_string i));
+  match Insn.decode (fetch exe (base + 12)) with
+  | Insn.Bicc { cond = Insn.CA; annul = false; disp22 = -3 } -> ()
+  | i -> Alcotest.failf "bad ba: %s" (Insn.to_string i)
+
+let test_asm_data_and_hi_lo () =
+  let exe =
+    assemble_ok
+      {|
+        .text
+main:   sethi %hi(counter), %l0
+        ld [%l0 + %lo(counter)], %l1
+        retl
+        nop
+        .data
+        .align 4
+counter: .word 42
+|}
+  in
+  let data =
+    List.find (fun (s : Eel_sef.Sef.section) -> s.sec_name = ".data")
+      exe.Eel_sef.Sef.sections
+  in
+  Alcotest.(check int) "counter initial value" 42 (fetch exe data.vaddr);
+  (* the sethi/ld pair reconstructs the counter address *)
+  (match Insn.decode (fetch exe 0x10000) with
+  | Insn.Sethi { imm22; _ } ->
+      Alcotest.(check int) "hi bits" (data.vaddr lsr 10) imm22
+  | i -> Alcotest.failf "expected sethi, got %s" (Insn.to_string i));
+  match Insn.decode (fetch exe 0x10004) with
+  | Insn.Mem { op = Insn.Ld; op2 = Insn.O_imm lo; _ } ->
+      Alcotest.(check int) "lo bits" (data.vaddr land 0x3FF) lo
+  | i -> Alcotest.failf "expected ld, got %s" (Insn.to_string i)
+
+let test_asm_symbols () =
+  let exe =
+    assemble_ok
+      {|
+        .text
+        .global main
+main:   retl
+        nop
+helper: retl
+        nop
+        .nosym hidden
+hidden: retl
+        nop
+Llocal: nop
+        .labelsym weird
+weird:  nop
+        .data
+tab:    .word 1, 2, 3
+|}
+  in
+  let syms = exe.Eel_sef.Sef.symbols in
+  let find n = List.find_opt (fun (s : Eel_sef.Sef.symbol) -> s.sym_name = n) syms in
+  Alcotest.(check bool) "main exists & global" true
+    (match find "main" with Some s -> s.global && s.kind = Eel_sef.Sef.Func | None -> false);
+  Alcotest.(check bool) "helper local func" true
+    (match find "helper" with Some s -> (not s.global) && s.kind = Eel_sef.Sef.Func | None -> false);
+  Alcotest.(check bool) "hidden suppressed" true (find "hidden" = None);
+  Alcotest.(check bool) "Llocal suppressed" true (find "Llocal" = None);
+  Alcotest.(check bool) "weird is label kind" true
+    (match find "weird" with Some s -> s.kind = Eel_sef.Sef.Label | None -> false);
+  Alcotest.(check bool) "tab is object" true
+    (match find "tab" with Some s -> s.kind = Eel_sef.Sef.Object | None -> false)
+
+let test_asm_jump_table () =
+  (* a case-dispatch shape: jump table of code addresses in .data *)
+  let exe =
+    assemble_ok
+      {|
+        .text
+main:   set table, %l0
+        sll %o0, 2, %l1
+        ld [%l0 + %l1], %l2
+        jmp %l2
+        nop
+c0:     retl
+        nop
+c1:     retl
+        nop
+        .data
+        .align 4
+table:  .word c0, c1
+|}
+  in
+  let data =
+    List.find (fun (s : Eel_sef.Sef.section) -> s.sec_name = ".data")
+      exe.Eel_sef.Sef.sections
+  in
+  let c0 =
+    (List.find (fun (s : Eel_sef.Sef.symbol) -> s.sym_name = "c0") exe.symbols).value
+  in
+  Alcotest.(check int) "table[0] = c0" c0 (fetch exe data.vaddr)
+
+let test_asm_errors () =
+  let fails src =
+    match Asm.assemble src with
+    | Ok _ -> Alcotest.failf "expected failure for %S" src
+    | Error _ -> ()
+  in
+  fails "main: bne undefined_label\n nop";
+  fails "main: add %g1, 99999, %g2"; (* immediate too large *)
+  fails "main: frobnicate %g1";
+  fails "main: add %g1, 5, %v0"; (* virtual register outside snippet *)
+  fails "main: ba main2"; (* undefined *)
+  fails "dup: nop\ndup: nop" (* duplicate label *)
+
+let test_snippet_basic () =
+  let params = [ ("counter", 0x20A44) ] in
+  let t =
+    match
+      Asm.parse_snippet ~params
+        {|
+        sethi %hi($counter), %v0
+        ld [%v0 + %lo($counter)], %v1
+        add %v1, 1, %v1
+        st %v1, [%v0 + %lo($counter)]
+|}
+    with
+    | Ok t -> t
+    | Error m -> Alcotest.failf "snippet failed: %s" m
+  in
+  Alcotest.(check int) "4 words" 4 (Array.length t.Eel_arch.Template.words);
+  Alcotest.(check int) "2 vregs" 2 (Eel_arch.Template.num_vregs t);
+  (* substitute %l0, %l1 and check the result decodes to the right code *)
+  let words = Eel_arch.Template.subst_vregs t [| 16; 17 |] in
+  check_str "sethi to %l0" "sethi %hi(0x20800), %l0"
+    (Insn.to_string (Insn.decode words.(0)));
+  check_str "ld" "ld [%l0 + 580], %l1" (Insn.to_string (Insn.decode words.(1)));
+  check_str "add" "add %l1, 1, %l1" (Insn.to_string (Insn.decode words.(2)));
+  check_str "st" "st %l1, [%l0 + 580]" (Insn.to_string (Insn.decode words.(3)))
+
+let test_snippet_internal_branch () =
+  let t =
+    match
+      Asm.parse_snippet
+        {|
+        cmp %v0, 0
+        be Ldone
+        nop
+        add %v0, 1, %v0
+Ldone:  nop
+|}
+    with
+    | Ok t -> t
+    | Error m -> Alcotest.failf "snippet failed: %s" m
+  in
+  Alcotest.(check int) "no relocs for internal branches" 0
+    (List.length t.Eel_arch.Template.relocs);
+  let words = Eel_arch.Template.subst_vregs t [| 16 |] in
+  match Insn.decode words.(1) with
+  | Insn.Bicc { disp22 = 3; _ } -> ()
+  | i -> Alcotest.failf "bad internal branch %s" (Insn.to_string i)
+
+let test_snippet_reloc () =
+  let t =
+    match
+      Asm.parse_snippet ~params:[ ("handler", 0x40000) ]
+        {|
+        call $handler
+        nop
+|}
+    with
+    | Ok t -> t
+    | Error m -> Alcotest.failf "snippet failed: %s" m
+  in
+  match t.Eel_arch.Template.relocs with
+  | [ { index = 0; target = 0x40000 } ] -> ()
+  | _ -> Alcotest.fail "expected one call reloc"
+
+(* Disassembler smoke: decode of every valid random word pretty-prints. *)
+let prop_disas_total =
+  QCheck.Test.make ~name:"disassembler total" ~count:2000
+    QCheck.(int_bound 0xFFFFFFF)
+    (fun w ->
+      let s = Mach.mach.Eel_arch.Machine.disas ~pc:0x1000 (w * 31) in
+      String.length s > 0)
+
+let test_mach_retarget () =
+  let b = Lift.lift (Insn.encode (Insn.Bicc { cond = Insn.CNE; annul = false; disp22 = 4 })) in
+  (match Mach.mach.Eel_arch.Machine.retarget b ~disp:400 with
+  | Some w -> (
+      match Insn.decode w with
+      | Insn.Bicc { disp22 = 100; _ } -> ()
+      | _ -> Alcotest.fail "bad retarget")
+  | None -> Alcotest.fail "retarget failed");
+  (match Mach.mach.Eel_arch.Machine.retarget b ~disp:(16 * 1024 * 1024) with
+  | Some _ -> Alcotest.fail "should not fit"
+  | None -> ());
+  let c = Lift.lift (Insn.encode (Insn.Call { disp30 = 0 })) in
+  match Mach.mach.Eel_arch.Machine.retarget c ~disp:(-0x10000) with
+  | Some w -> (
+      match Insn.decode w with
+      | Insn.Call { disp30 } -> Alcotest.(check int) "call disp" (-0x4000) disp30
+      | _ -> Alcotest.fail "bad call retarget")
+  | None -> Alcotest.fail "call retarget failed"
+
+let test_mach_set_const () =
+  let m = Mach.mach in
+  let words = m.Eel_arch.Machine.mk_set_const ~reg:16 0xDEADBEEF in
+  Alcotest.(check int) "two words" 2 (List.length words);
+  (* verify by constant folding through the lifter *)
+  let values = Hashtbl.create 4 in
+  List.iter
+    (fun w ->
+      match Lift.eval_compute (Lift.lift w) ~read:(Hashtbl.find_opt values) with
+      | Some (r, v) -> Hashtbl.replace values r v
+      | None -> Alcotest.fail "set_const not foldable")
+    words;
+  Alcotest.(check (option int)) "materialized" (Some 0xDEADBEEF) (Hashtbl.find_opt values 16)
+
+let test_mach_hi_lo_patch () =
+  let m = Mach.mach in
+  let sethi = Insn.encode (Insn.Sethi { rd = 16; imm22 = 0 }) in
+  let patched = m.Eel_arch.Machine.set_const_hi sethi ~value:0x20A44 in
+  (match Insn.decode patched with
+  | Insn.Sethi { imm22; _ } -> Alcotest.(check int) "hi22" (0x20A44 lsr 10) imm22
+  | _ -> Alcotest.fail "not sethi");
+  let ld = Insn.encode (Insn.Mem { op = Insn.Ld; rs1 = 16; op2 = Insn.O_imm 0; rd = 17 }) in
+  let patched = m.Eel_arch.Machine.set_const_lo ld ~value:0x20A44 in
+  match Insn.decode patched with
+  | Insn.Mem { op2 = Insn.O_imm lo; _ } ->
+      Alcotest.(check int) "lo10" (0x20A44 land 0x3FF) lo
+  | _ -> Alcotest.fail "not ld"
+
+let () =
+  Alcotest.run "sparc"
+    [
+      ( "insn",
+        [
+          Alcotest.test_case "encode roundtrip" `Quick test_encode_roundtrip;
+          Alcotest.test_case "known encodings" `Quick test_known_encodings;
+          Alcotest.test_case "invalid decodes" `Quick test_invalid_decodes;
+        ] );
+      ( "lift",
+        [
+          Alcotest.test_case "categories" `Quick test_lift_categories;
+          Alcotest.test_case "register sets" `Quick test_lift_regsets;
+          Alcotest.test_case "targets" `Quick test_lift_targets;
+          Alcotest.test_case "eval_compute" `Quick test_eval_compute;
+        ] );
+      ("regs", [ Alcotest.test_case "names" `Quick test_reg_names ]);
+      ( "asm",
+        [
+          Alcotest.test_case "basic" `Quick test_asm_basic;
+          Alcotest.test_case "branches and labels" `Quick test_asm_branches_and_labels;
+          Alcotest.test_case "data and hi/lo" `Quick test_asm_data_and_hi_lo;
+          Alcotest.test_case "symbols" `Quick test_asm_symbols;
+          Alcotest.test_case "jump table" `Quick test_asm_jump_table;
+          Alcotest.test_case "errors" `Quick test_asm_errors;
+        ] );
+      ( "snippet",
+        [
+          Alcotest.test_case "basic" `Quick test_snippet_basic;
+          Alcotest.test_case "internal branch" `Quick test_snippet_internal_branch;
+          Alcotest.test_case "reloc" `Quick test_snippet_reloc;
+        ] );
+      ( "mach",
+        [
+          Alcotest.test_case "retarget" `Quick test_mach_retarget;
+          Alcotest.test_case "set_const" `Quick test_mach_set_const;
+          Alcotest.test_case "hi/lo patch" `Quick test_mach_hi_lo_patch;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_decode_encode; prop_decode_total; prop_disas_total ] );
+    ]

@@ -1,0 +1,299 @@
+(* Tests for spawn (paper §4): parsing the SPARC description, decode
+   agreement with the handwritten layer, derived EEL instructions matching
+   the handwritten lifter (category, register sets, control behaviour),
+   RTL-emulator equivalence on whole programs, and the derived machine
+   driving the full EEL editing pipeline. *)
+
+module Emu = Eel_emu.Emu
+module E = Eel.Executable
+module Machine = Eel_arch.Machine
+module Instr = Eel_arch.Instr
+module Regset = Eel_arch.Regset
+open Eel_sparc
+
+let description_path = "../descriptions/sparc.spawn"
+
+let el =
+  lazy
+    (try Eel_spawn.Smach.load_description description_path
+     with Sys_error _ ->
+       (* when run from another cwd *)
+       Eel_spawn.Smach.load_description "descriptions/sparc.spawn")
+
+let smach = lazy (Eel_spawn.Smach.mach_of (Lazy.force el))
+
+let hmach = Mach.mach
+
+let assemble src =
+  match Asm.assemble src with
+  | Ok exe -> exe
+  | Error m -> Alcotest.failf "assembly failed: %s" m
+
+(* ------------------------------------------------------------------ *)
+(* Parsing and elaboration                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_parses () =
+  let el = Lazy.force el in
+  Alcotest.(check bool) "has patterns" true (List.length el.Eel_spawn.Elab.pats > 50);
+  Alcotest.(check int) "34 registers" 34 el.Eel_spawn.Elab.num_regs
+
+let test_description_errors () =
+  let fails src =
+    match
+      Eel_spawn.Elab.elaborate (Eel_spawn.Parser.parse src)
+    with
+    | exception Eel_spawn.Parser.Parse_error _ -> ()
+    | exception Eel_spawn.Elab.Elab_error _ -> ()
+    | _ -> Alcotest.failf "expected description error for %S" src
+  in
+  fails "register integer{32} R[34]\npat foo is op=0"; (* unknown field *)
+  fails "fields op 30:31\nregister integer{32} R[4]\npat foo is op=0";
+  (* pattern without semantics *)
+  fails "fields op 30:31\nregister integer{32} R[4]\nsem foo is { R[0] := junk(";
+  fails "fields op 33:40\nregister integer{32} R[4]" (* bad field range *)
+
+(* ------------------------------------------------------------------ *)
+(* Decode agreement                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let words_of_interest =
+  [
+    Insn.encode Insn.nop;
+    Insn.encode (Insn.Bicc { cond = Insn.CNE; annul = true; disp22 = -5 });
+    Insn.encode (Insn.Bicc { cond = Insn.CA; annul = false; disp22 = 3 });
+    Insn.encode (Insn.Call { disp30 = 99 });
+    Insn.encode (Insn.Alu { op = Insn.Subcc; rs1 = 17; op2 = Insn.O_reg 18; rd = 0 });
+    Insn.encode (Insn.Alu { op = Insn.Sll; rs1 = 9; op2 = Insn.O_imm 4; rd = 10 });
+    Insn.encode (Insn.Jmpl { rs1 = 15; op2 = Insn.O_imm 8; rd = 0 });
+    Insn.encode (Insn.Jmpl { rs1 = 3; op2 = Insn.O_imm 0; rd = 15 });
+    Insn.encode (Insn.Mem { op = Insn.Ld; rs1 = 14; op2 = Insn.O_imm 8; rd = 8 });
+    Insn.encode (Insn.Mem { op = Insn.Std; rs1 = 14; op2 = Insn.O_imm 8; rd = 8 });
+    Insn.encode (Insn.Ticc { cond = Insn.CA; rs1 = 0; op2 = Insn.O_imm 1 });
+    Insn.encode (Insn.Rdy { rd = 5 });
+    Insn.encode (Insn.Wry { rs1 = 5; op2 = Insn.O_imm 0 });
+    0;
+    0xFFFFFFFF;
+    0x1D800001 (* fbfcc: invalid *);
+  ]
+
+let agree_on word =
+  let sm = Lazy.force smach in
+  let hi = hmach.Machine.lift word in
+  let si = sm.Machine.lift word in
+  let show (i : Instr.t) =
+    Format.asprintf "%s reads=%s writes=%s delayed=%b width=%d ctl=%s"
+      (Instr.category_name i.Instr.cat)
+      (String.concat "," (List.map string_of_int (Regset.elements i.Instr.reads)))
+      (String.concat "," (List.map string_of_int (Regset.elements i.Instr.writes)))
+      i.Instr.delayed i.Instr.width
+      (match i.Instr.ctl with
+      | Instr.C_none -> "none"
+      | Instr.C_branch { always; never; annul; disp } ->
+          Printf.sprintf "branch(a=%b,n=%b,an=%b,d=%d)" always never annul disp
+      | Instr.C_call { disp } -> Printf.sprintf "call(%d)" disp
+      | Instr.C_jump_ind { rs1; op2; link } ->
+          Printf.sprintf "ind(%d,%s,%d)" rs1
+            (match op2 with
+            | Instr.O_imm k -> string_of_int k
+            | Instr.O_reg r -> "r" ^ string_of_int r)
+            link
+      | Instr.C_syscall { num } ->
+          Printf.sprintf "sys(%s)" (match num with Some n -> string_of_int n | None -> "?"))
+  in
+  Alcotest.(check string) (Printf.sprintf "word 0x%08x" word) (show hi) (show si)
+
+let test_lift_agreement_samples () = List.iter agree_on words_of_interest
+
+let prop_lift_agreement =
+  QCheck.Test.make ~name:"spawn and handwritten lifters agree" ~count:3000
+    QCheck.(int_bound 0x3FFFFFFF)
+    (fun seed ->
+      let word = seed * 7 land 0xFFFFFFFF in
+      let sm = Lazy.force smach in
+      let hi = hmach.Machine.lift word in
+      let si = sm.Machine.lift word in
+      hi.Instr.cat = si.Instr.cat
+      && Regset.equal
+           (Machine.real_reads hmach hi)
+           (Machine.real_reads hmach si)
+      && Regset.equal
+           (Machine.real_writes hmach hi)
+           (Machine.real_writes hmach si)
+      && hi.Instr.delayed = si.Instr.delayed
+      && hi.Instr.width = si.Instr.width
+      && hi.Instr.ctl = si.Instr.ctl)
+
+(* program text agreement: every word of a generated workload *)
+let test_lift_agreement_workload () =
+  let exe =
+    match
+      Asm.assemble
+        (Eel_workload.Gen.program
+           { Eel_workload.Gen.default with routines = 10; seed = 13 })
+    with
+    | Ok e -> e
+    | Error m -> Alcotest.failf "asm: %s" m
+  in
+  let text = List.hd (Eel_sef.Sef.text_sections exe) in
+  for k = 0 to (text.Eel_sef.Sef.size / 4) - 1 do
+    agree_on (Eel_util.Bytebuf.get32_be text.Eel_sef.Sef.contents (4 * k))
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Synthesis hooks                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_synthesis_agreement () =
+  let sm = Lazy.force smach in
+  Alcotest.(check int) "nop" hmach.Machine.nop sm.Machine.nop;
+  Alcotest.(check int) "ba" (hmach.Machine.mk_ba ~disp:64) (sm.Machine.mk_ba ~disp:64);
+  Alcotest.(check int) "call" (hmach.Machine.mk_call ~disp:(-128))
+    (sm.Machine.mk_call ~disp:(-128));
+  Alcotest.(check (list int)) "set_const"
+    (hmach.Machine.mk_set_const ~reg:16 0xCAFEBABE)
+    (sm.Machine.mk_set_const ~reg:16 0xCAFEBABE);
+  Alcotest.(check int) "jmp"
+    (hmach.Machine.mk_jmp_reg ~rs1:7 ~op2:(Instr.O_imm 0) ~link:0)
+    (sm.Machine.mk_jmp_reg ~rs1:7 ~op2:(Instr.O_imm 0) ~link:0);
+  Alcotest.(check int) "spill" (hmach.Machine.mk_spill ~reg:16 ~sp_off:(-8))
+    (sm.Machine.mk_spill ~reg:16 ~sp_off:(-8));
+  (* retarget a branch *)
+  let b = Insn.encode (Insn.Bicc { cond = Insn.CNE; annul = false; disp22 = 4 }) in
+  Alcotest.(check (option int)) "retarget"
+    (hmach.Machine.retarget (hmach.Machine.lift b) ~disp:800)
+    (sm.Machine.retarget (sm.Machine.lift b) ~disp:800);
+  Alcotest.(check int) "set_annul" (hmach.Machine.set_annul b true)
+    (sm.Machine.set_annul b true)
+
+(* ------------------------------------------------------------------ *)
+(* RTL interpreter equivalence                                         *)
+(* ------------------------------------------------------------------ *)
+
+let equivalent_run src =
+  let exe = assemble src in
+  let r1, _ = Emu.run_exe exe in
+  let r2, _ = Eel_spawn.Interp.run (Lazy.force el) exe in
+  Alcotest.(check string) "same output" r1.Emu.out r2.Emu.out;
+  Alcotest.(check int) "same exit" r1.Emu.exit_code r2.Emu.exit_code;
+  Alcotest.(check int) "same instruction count" r1.Emu.insns r2.Emu.insns
+
+let test_interp_small () =
+  equivalent_run
+    {|
+main:   mov 6, %l0
+        mov 7, %l1
+        smul %l0, %l1, %o0
+        ta 2
+        umul %l0, %l1, %l2
+        rd %y, %o0
+        ta 2
+        mov 1, %l5
+        cmp %l5, 1
+        be,a Lok
+        add %l5, 10, %l5
+        add %l5, 100, %l5
+Lok:    mov %l5, %o0
+        ta 2
+        mov 0, %o0
+        ta 1
+|}
+
+let test_interp_workloads () =
+  List.iter
+    (fun (style, seed) ->
+      let src =
+        Eel_workload.Gen.program
+          { Eel_workload.Gen.default with style; seed; routines = 12 }
+      in
+      equivalent_run src)
+    [ (Eel_workload.Gen.Gcc, 21); (Eel_workload.Gen.Sunpro, 22) ]
+
+(* ------------------------------------------------------------------ *)
+(* The derived machine drives the whole EEL pipeline                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_edit_with_spawn_mach () =
+  let sm = Lazy.force smach in
+  let src =
+    Eel_workload.Gen.program
+      { Eel_workload.Gen.default with routines = 10; seed = 31 }
+  in
+  let exe = assemble src in
+  let orig, _ = Emu.run_exe exe in
+  let t = E.read_contents sm exe in
+  let edited = E.to_edited_sef t () in
+  let res, _ = Emu.run_exe edited in
+  Alcotest.(check string) "spawn-mach edited output" orig.Emu.out res.Emu.out
+
+let test_qpt2_with_spawn_mach () =
+  let sm = Lazy.force smach in
+  let exe =
+    assemble
+      {|
+main:   mov 5, %l0
+Lloop:  subcc %l0, 1, %l0
+        bne Lloop
+        nop
+        mov 0, %o0
+        ta 1
+|}
+  in
+  let prof = Eel_tools.Qpt2.instrument sm exe in
+  let _, st = Emu.run_exe prof.Eel_tools.Qpt2.edited in
+  let counts = List.map snd (Eel_tools.Qpt2.counts prof st.Emu.mem) in
+  Alcotest.(check bool) "edge counts via spawn mach" true
+    (List.sort compare counts = [ 1; 4 ])
+
+(* ------------------------------------------------------------------ *)
+(* Code generation (E7)                                                *)
+(* ------------------------------------------------------------------ *)
+
+let read_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let src = really_input_string ic n in
+  close_in ic;
+  src
+
+let test_codegen () =
+  let el = Lazy.force el in
+  let code = Eel_spawn.Codegen.generate el in
+  let gen_loc = Eel_spawn.Codegen.loc_of_string code in
+  Alcotest.(check bool) "generated code is substantial" true (gen_loc > 400);
+  (* description is concise, like the paper's 145 lines *)
+  let src =
+    try read_file description_path
+    with Sys_error _ -> read_file "descriptions/sparc.spawn"
+  in
+  let desc_loc = Eel_spawn.Codegen.loc_of_string src in
+  Alcotest.(check bool) "description under 200 lines" true (desc_loc < 200);
+  Alcotest.(check bool) "generated >> description" true (gen_loc > 3 * desc_loc)
+
+let () =
+  Alcotest.run "spawn"
+    [
+      ( "description",
+        [
+          Alcotest.test_case "parses" `Quick test_parses;
+          Alcotest.test_case "errors" `Quick test_description_errors;
+        ] );
+      ( "agreement",
+        [
+          Alcotest.test_case "samples" `Quick test_lift_agreement_samples;
+          Alcotest.test_case "workload text" `Quick test_lift_agreement_workload;
+          Alcotest.test_case "synthesis" `Quick test_synthesis_agreement;
+          QCheck_alcotest.to_alcotest prop_lift_agreement;
+        ] );
+      ( "interp",
+        [
+          Alcotest.test_case "small" `Quick test_interp_small;
+          Alcotest.test_case "workloads" `Quick test_interp_workloads;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "editing" `Quick test_edit_with_spawn_mach;
+          Alcotest.test_case "qpt2" `Quick test_qpt2_with_spawn_mach;
+        ] );
+      ("codegen", [ Alcotest.test_case "conciseness" `Quick test_codegen ]);
+    ]

@@ -1,0 +1,107 @@
+(* Unit and property tests for the utility layer: 32-bit word arithmetic and
+   binary readers/writers. *)
+
+open Eel_util
+
+let check_int = Alcotest.(check int)
+
+let test_mask () =
+  check_int "mask keeps 32 bits" 0xFFFFFFFF (Word.mask (-1));
+  check_int "mask is idempotent" 0x1234 (Word.mask 0x1234);
+  check_int "mask wraps overflow" 0 (Word.mask 0x1_0000_0000)
+
+let test_sext () =
+  check_int "sext 13 of 0x1FFF" (-1) (Word.sext 13 0x1FFF);
+  check_int "sext 13 of 0xFFF" 0xFFF (Word.sext 13 0xFFF);
+  check_int "sext 22 negative" (-2) (Word.sext 22 0x3FFFFE);
+  check_int "sext 32 of high bit" (-2147483648) (Word.sext 32 0x80000000)
+
+let test_bits () =
+  check_int "bits 30:31" 2 (Word.bits ~lo:30 ~hi:31 0x80000000);
+  check_int "bits 0:4" 0x15 (Word.bits ~lo:0 ~hi:4 0x35);
+  check_int "set_bits roundtrip" 0xF0
+    (Word.set_bits ~lo:4 ~hi:7 0 0xF);
+  check_int "set_bits preserves others" 0x10F
+    (Word.set_bits ~lo:4 ~hi:7 0x10F 0x0 lor 0x0 lor Word.set_bits ~lo:4 ~hi:7 0x10F 0 land 0xFFF)
+
+let test_arith () =
+  check_int "add wraps" 0 (Word.add 0xFFFFFFFF 1);
+  check_int "sub wraps" 0xFFFFFFFF (Word.sub 0 1);
+  check_int "sll" 0x80000000 (Word.sll 1 31);
+  check_int "sll wraps shift amount" 2 (Word.sll 1 33);
+  check_int "srl" 1 (Word.srl 0x80000000 31);
+  check_int "sra sign" 0xFFFFFFFF (Word.sra 0x80000000 31);
+  check_int "signed of max" (-1) (Word.signed 0xFFFFFFFF)
+
+let test_fits () =
+  Alcotest.(check bool) "4095 fits simm13" true (Word.fits_signed 13 4095);
+  Alcotest.(check bool) "4096 does not fit" false (Word.fits_signed 13 4096);
+  Alcotest.(check bool) "-4096 fits" true (Word.fits_signed 13 (-4096));
+  Alcotest.(check bool) "-4097 does not fit" false (Word.fits_signed 13 (-4097))
+
+let test_bytebuf_roundtrip () =
+  let buf = Buffer.create 64 in
+  Bytebuf.w8 buf 0xAB;
+  Bytebuf.w16 buf 0x1234;
+  Bytebuf.w32 buf 0xDEADBEEF;
+  Bytebuf.wstr buf "hello";
+  let r = Bytebuf.reader (Buffer.contents buf) in
+  check_int "w8/r8" 0xAB (Bytebuf.r8 r);
+  check_int "w16/r16" 0x1234 (Bytebuf.r16 r);
+  check_int "w32/r32" 0xDEADBEEF (Bytebuf.r32 r);
+  Alcotest.(check string) "wstr/rstr" "hello" (Bytebuf.rstr r);
+  Alcotest.(check bool) "eof" true (Bytebuf.eof r)
+
+let test_bytebuf_be () =
+  let b = Bytes.make 8 '\000' in
+  Bytebuf.set32_be b 0 0x01020304;
+  check_int "byte order" 1 (Char.code (Bytes.get b 0));
+  check_int "get32_be" 0x01020304 (Bytebuf.get32_be b 0);
+  Bytebuf.set32_be b 4 0xFFFFFFFF;
+  check_int "all ones" 0xFFFFFFFF (Bytebuf.get32_be b 4)
+
+let test_truncated_reads () =
+  let r = Bytebuf.reader "ab" in
+  let _ = Bytebuf.r16 r in
+  Alcotest.check_raises "r8 past end" (Failure "Bytebuf.r8: truncated input")
+    (fun () -> ignore (Bytebuf.r8 r))
+
+(* Property: sext inverts zext for in-range values. *)
+let prop_sext_zext =
+  QCheck.Test.make ~name:"sext/zext roundtrip on signed 13-bit values"
+    QCheck.(int_range (-4096) 4095)
+    (fun v -> Word.sext 13 (Word.zext 13 v) = v)
+
+let prop_add_assoc =
+  QCheck.Test.make ~name:"32-bit add is associative"
+    QCheck.(triple (int_bound 0xFFFFFFF) (int_bound 0xFFFFFFF) (int_bound 0xFFFFFFF))
+    (fun (a, b, c) -> Word.add a (Word.add b c) = Word.add (Word.add a b) c)
+
+let prop_bits_set_bits =
+  QCheck.Test.make ~name:"bits inverts set_bits"
+    QCheck.(pair (int_bound 0xFFFF) (int_bound 31))
+    (fun (w, v) ->
+      let v = v land 0xF in
+      Word.bits ~lo:8 ~hi:11 (Word.set_bits ~lo:8 ~hi:11 w v) = v)
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "word",
+        [
+          Alcotest.test_case "mask" `Quick test_mask;
+          Alcotest.test_case "sext" `Quick test_sext;
+          Alcotest.test_case "bits" `Quick test_bits;
+          Alcotest.test_case "arith" `Quick test_arith;
+          Alcotest.test_case "fits_signed" `Quick test_fits;
+        ] );
+      ( "bytebuf",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_bytebuf_roundtrip;
+          Alcotest.test_case "big-endian words" `Quick test_bytebuf_be;
+          Alcotest.test_case "truncation" `Quick test_truncated_reads;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_sext_zext; prop_add_assoc; prop_bits_set_bits ] );
+    ]
