@@ -1,0 +1,21 @@
+# Convenience wrapper over dune. `make check` is the full local gate:
+# build everything, run the test suites, then the never-crash fuzz corpus.
+
+.PHONY: all build test fuzz check clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+fuzz:
+	dune build @fuzz
+
+check:
+	dune build && dune runtest && dune build @fuzz
+
+clean:
+	dune clean

@@ -1,0 +1,1 @@
+bin/eel_fuzz.ml: Arg Eel Eel_mutate Eel_robust Eel_sef Eel_sparc Eel_workload Hashtbl List Option Printexc Printf

@@ -1,0 +1,1 @@
+bin/eel_fuzz.mli:

@@ -1,1 +1,1 @@
-bin/eel_objdump.ml: Arg Array Cmd Cmdliner Eel Eel_arch Eel_sef Eel_sparc Format List Printf Term
+bin/eel_objdump.ml: Arg Array Cmd Cmdliner Eel Eel_arch Eel_robust Eel_sef Eel_sparc Format List Printf Term

@@ -1,1 +1,1 @@
-bin/eel_run.ml: Arg Cmd Cmdliner Eel_arch Eel_emu Eel_sef Eel_sparc Eel_spawn Printf Term
+bin/eel_run.ml: Arg Cmd Cmdliner Eel_arch Eel_emu Eel_robust Eel_sef Eel_sparc Eel_spawn Printf Term

@@ -1,1 +1,1 @@
-bin/qpt2.ml: Arg Cmd Cmdliner Eel Eel_emu Eel_sef Eel_sparc Eel_tools List Printf Term Unix
+bin/qpt2.ml: Arg Cmd Cmdliner Eel Eel_emu Eel_robust Eel_sef Eel_sparc Eel_tools List Printf Term Unix

@@ -1,0 +1,100 @@
+(* Fault-injection fuzz driver: the executable form of the never-crash
+   contract. A well-formed workload executable is mutated [--count] times
+   (deterministically from [--seed], cycling through every mutation class),
+   and each mutant is pushed through the full front end: SEF load, symbol
+   refinement, CFG construction for every routine (hidden-routine queue
+   drained), then a no-op edit + layout + output-image build. Each mutant
+   must either succeed or be rejected with a structured [Diag.error] — any
+   other exception is a crash, reported with its backtrace, and the driver
+   exits 1. *)
+
+module Sef = Eel_sef.Sef
+module Diag = Eel_robust.Diag
+module Mutate = Eel_mutate.Mutate
+module E = Eel.Executable
+
+type outcome =
+  | Ok_load of int  (** diagnostics count *)
+  | Rejected of Diag.error
+  | Crashed of string
+
+(* The load -> CFG -> edit pipeline under test. [jump_stats] forces every
+   routine's CFG (draining the hidden-routine discovery queue);
+   [to_edited_sef] performs the no-op edit, layout and invariant-verified
+   image build. *)
+let pipeline bytes =
+  let diag = Diag.create () in
+  match Sef.load ~diag bytes with
+  | Error e -> Rejected e
+  | Ok exe -> (
+      let budget = Diag.budget ~stage:"fuzz" (8 * 1024 * 1024) in
+      match E.open_exe ~diag ~budget Eel_sparc.Mach.mach exe with
+      | Error e -> Rejected e
+      | Ok t -> (
+          match
+            Diag.guard (fun () ->
+                ignore (E.jump_stats t);
+                ignore (E.to_edited_sef t ()))
+          with
+          | Ok () -> Ok_load (Diag.count diag)
+          | Error e -> Rejected e))
+
+let run_one bytes =
+  try pipeline bytes with
+  | Stack_overflow -> Crashed "Stack_overflow"
+  | exn ->
+      Crashed
+        (Printf.sprintf "%s\n%s" (Printexc.to_string exn)
+           (Printexc.get_backtrace ()))
+
+let () =
+  Printexc.record_backtrace true;
+  let count = ref 200 and seed = ref 42 and routines = ref 12 in
+  let verbose = ref false in
+  Arg.parse
+    [
+      ("--count", Arg.Set_int count, "NUMBER of mutants (default 200)");
+      ("--seed", Arg.Set_int seed, "SEED for mutation and the base workload (default 42)");
+      ("--routines", Arg.Set_int routines, "ROUTINES in the base workload (default 12)");
+      ("--verbose", Arg.Set verbose, "print one line per mutant");
+    ]
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "eel_fuzz: assert the front end never crashes on mutated executables";
+  let base =
+    Eel_workload.Gen.assemble_program
+      { Eel_workload.Gen.default with seed = !seed; routines = !routines }
+  in
+  let corpus = Mutate.corpus ~seed:!seed ~count:!count base in
+  let per_kind : (string, int * int) Hashtbl.t = Hashtbl.create 16 in
+  let bump kind slot =
+    let o, r = Option.value ~default:(0, 0) (Hashtbl.find_opt per_kind kind) in
+    Hashtbl.replace per_kind kind
+      (match slot with `Ok -> (o + 1, r) | `Rej -> (o, r + 1))
+  in
+  let ok = ref 0 and rejected = ref 0 and crashed = ref 0 in
+  List.iter
+    (fun (i, kind, bytes) ->
+      let kname = Mutate.name kind in
+      match run_one bytes with
+      | Ok_load ndiag ->
+          incr ok;
+          bump kname `Ok;
+          if !verbose then
+            Printf.printf "%4d %-22s ok (%d diagnostics)\n" i kname ndiag
+      | Rejected e ->
+          incr rejected;
+          bump kname `Rej;
+          if !verbose then
+            Printf.printf "%4d %-22s rejected: %s\n" i kname
+              (Diag.error_message e)
+      | Crashed msg ->
+          incr crashed;
+          Printf.printf "%4d %-22s CRASH: %s\n" i kname msg)
+    corpus;
+  Printf.printf "eel_fuzz: %d mutants (seed %d): %d ok, %d rejected, %d crashed\n"
+    (List.length corpus) !seed !ok !rejected !crashed;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) per_kind []
+  |> List.sort compare
+  |> List.iter (fun (k, (o, r)) ->
+         Printf.printf "  %-22s %3d ok %3d rejected\n" k o r);
+  if !crashed > 0 then exit 1

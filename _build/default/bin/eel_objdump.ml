@@ -56,6 +56,14 @@ let dump path disas cfg =
           (C.blocks g))
     (E.routines t)
 
+(* malformed inputs produce typed errors; report them as such, not as an
+   "internal error" backtrace *)
+let dump path disas cfg =
+  try dump path disas cfg
+  with Eel_robust.Diag.Error e ->
+    Printf.eprintf "eel_objdump: %s\n" (Eel_robust.Diag.error_message e);
+    exit 1
+
 let cmd =
   let path = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
   let disas = Arg.(value & flag & info [ "d"; "disassemble" ]) in

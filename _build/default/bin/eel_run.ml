@@ -32,6 +32,15 @@ let run path rtl trace fuel =
     result.Eel_emu.Emu.loads result.Eel_emu.Emu.stores;
   exit result.Eel_emu.Emu.exit_code
 
+let run path rtl trace fuel =
+  try run path rtl trace fuel with
+  | Eel_robust.Diag.Error e ->
+      Printf.eprintf "eel_run: %s\n" (Eel_robust.Diag.error_message e);
+      exit 1
+  | Eel_emu.Emu.Fault m ->
+      Printf.eprintf "eel_run: fault: %s\n" m;
+      exit 1
+
 let cmd =
   let path = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
   let rtl =

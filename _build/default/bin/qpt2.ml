@@ -31,6 +31,15 @@ let main path run_it no_fold =
             c.Qpt2.c_block c.Qpt2.c_edge n)
       (Qpt2.counts prof st.Emu.mem))
 
+let main path run_it no_fold =
+  try main path run_it no_fold with
+  | Eel_robust.Diag.Error e ->
+      Printf.eprintf "qpt2: %s\n" (Eel_robust.Diag.error_message e);
+      exit 1
+  | Emu.Fault m ->
+      Printf.eprintf "qpt2: fault: %s\n" m;
+      exit 1
+
 let cmd =
   let path = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
   let run_it = Arg.(value & flag & info [ "run" ] ~doc:"run and print profile") in

@@ -1,1 +1,1 @@
-lib/core/cfg.ml: Array Eel_arch Eel_util Format Hashtbl Instr Instr_cache List Machine Option Printf Stats
+lib/core/cfg.ml: Array Eel_arch Eel_robust Eel_util Format Hashtbl Instr Instr_cache List Machine Option Printf Regset Stats

@@ -1,1 +1,1 @@
-lib/core/edit.ml: Array Cfg Dataflow Eel_arch Eel_util Hashtbl Instr List Machine Option Printf Snippet Template
+lib/core/edit.ml: Array Cfg Dataflow Eel_arch Eel_robust Eel_util Hashtbl Instr List Machine Option Printf Snippet Template

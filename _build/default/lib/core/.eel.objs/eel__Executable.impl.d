@@ -1,1 +1,1 @@
-lib/core/executable.ml: Array Bytes Cfg Edit Eel_arch Eel_sef Eel_util Hashtbl Instr Instr_cache List Logs Machine Option Printf Slice Snippet Template
+lib/core/executable.ml: Array Bytes Cfg Edit Eel_arch Eel_robust Eel_sef Eel_util Hashtbl Instr Instr_cache List Logs Machine Option Printf Slice Snippet Template

@@ -27,10 +27,15 @@
 
 open Eel_arch
 module I = Instr
+module Diag = Eel_robust.Diag
 
+(** Historical alias: CFG-construction failures are now {!Diag.Error}
+    values carrying {!Diag.Exe_error}/{!Diag.Decode_error}; this exception
+    is kept only so old match arms keep compiling. *)
 exception Eel_error of string
 
-let err fmt = Printf.ksprintf (fun s -> raise (Eel_error s)) fmt
+let err fmt =
+  Printf.ksprintf (fun s -> raise (Diag.Error (Diag.Exe_error { what = s }))) fmt
 
 type block_kind = Normal | Delay | Call_surrogate | Entry | Exit
 
@@ -200,13 +205,37 @@ let connect bld ?(editable = true) src dst ekind =
   dst.preds <- e :: dst.preds;
   e
 
+(** A stand-in instruction for text-segment words that could not even be
+    fetched (e.g. a declared range the section does not back). Classified
+    [Invalid], so such bytes degrade to data blocks instead of aborting the
+    routine — the paper's [mark_as_impossible] discipline. *)
+let unmapped_instr =
+  {
+    I.word = 0;
+    cat = I.Invalid;
+    reads = Regset.empty;
+    writes = Regset.empty;
+    ctl = I.C_none;
+    delayed = false;
+    width = 0;
+    ea = None;
+    mnem = "<unmapped>";
+  }
+
 (** [build ~mach ~cache ~fetch ~lo ~hi ~entries ~tables ()] constructs the
     normalized CFG of the routine occupying [lo, hi) with the given entry
     addresses. [fetch a] returns the machine word at [a]. [tables] maps
     indirect-jump addresses to previously-discovered dispatch tables (the
-    slicing fixpoint: {!Routine} re-builds after {!Slice} finds tables). *)
-let build ~mach ~cache ~fetch ~lo ~hi ~entries ~tables () =
+    slicing fixpoint: {!Routine} re-builds after {!Slice} finds tables).
+
+    [diag] collects degradation diagnostics: reachable-but-undecodable
+    regions, malformed delay slots and DCTI couples are downgraded to
+    data-marked blocks with a warning instead of aborting construction.
+    [budget] bounds the decode work (anti-non-termination guard). *)
+let build ?diag ?budget ~mach ~cache ~fetch ~lo ~hi ~entries ~tables () =
   if lo land 3 <> 0 then err "routine start 0x%x misaligned" lo;
+  let n_words = (hi - lo) / 4 in
+  Option.iter (fun b -> Diag.spend b (n_words + 1)) budget;
   let bld =
     { b_blocks = Eel_util.Dyn.create (); next_bid = 0; next_eid = 0; b_complete = true }
   in
@@ -216,12 +245,9 @@ let build ~mach ~cache ~fetch ~lo ~hi ~entries ~tables () =
     if a < lo || a + 4 > hi then None
     else Option.map (Instr_cache.lift cache) (fetch a)
   in
-  let n_words = (hi - lo) / 4 in
   let insn = Array.init n_words (fun i -> instr_at (lo + (4 * i))) in
   let get a =
-    match insn.((a - lo) / 4) with
-    | Some i -> i
-    | None -> err "no instruction at 0x%x" a
+    match insn.((a - lo) / 4) with Some i -> i | None -> unmapped_instr
   in
   let in_range a = a >= lo && a < hi && a land 3 = 0 in
   (* ---- leaders ---- *)
@@ -272,7 +298,14 @@ let build ~mach ~cache ~fetch ~lo ~hi ~entries ~tables () =
         let a = lo + (4 * !j) in
         match insn.(!j) with
       | None ->
-          continue_ := false (* ran off region *)
+          (* unmapped word: it groups with data; when the block started with
+             real code this is a validity boundary (never at !i = !j, so the
+             carving loop always advances) *)
+          if first_valid then continue_ := false
+          else (
+            incr j;
+            if !j < n_words && Hashtbl.mem leaders (lo + (4 * !j)) then
+              continue_ := false)
       | Some ins ->
           let valid = ins.I.cat <> I.Invalid in
           if valid <> first_valid then continue_ := false
@@ -335,14 +368,42 @@ let build ~mach ~cache ~fetch ~lo ~hi ~entries ~tables () =
       | None -> `Extern a (* e.g. branch into a delay slot consumed elsewhere *)
     else `Extern a
   in
+  (* Raised while wiring a block's successors when its terminator turns out
+     to be malformed (bit flips, data mis-classified as code). The block is
+     then downgraded to data with a diagnostic instead of aborting the whole
+     CFG — raised before any edge of the block is connected, so degradation
+     leaves no dangling edges. *)
+  let exception Degrade of { addr : int; what : string } in
   let delay_instr addr =
     match instr_at (addr + 4) with
-    | None -> err "control transfer at 0x%x has no delay slot" addr
+    | None ->
+        raise
+          (Degrade
+             {
+               addr;
+               what = Printf.sprintf "control transfer at 0x%x has no delay slot" addr;
+             })
     | Some d ->
+        if d.I.cat = I.Invalid then
+          raise
+            (Degrade
+               {
+                 addr;
+                 what =
+                   Printf.sprintf "delay slot at 0x%x holds an invalid word 0x%08x"
+                     (addr + 4) d.I.word;
+               });
         if I.is_cti d && d.I.delayed then
-          err
-            "unsupported DCTI couple: control transfer in the delay slot at 0x%x"
-            (addr + 4);
+          raise
+            (Degrade
+               {
+                 addr;
+                 what =
+                   Printf.sprintf
+                     "unsupported DCTI couple: control transfer in the delay slot \
+                      at 0x%x"
+                     (addr + 4);
+               });
         d
   in
   let mk_delay bld ?(editable = true) addr d =
@@ -358,7 +419,8 @@ let build ~mach ~cache ~fetch ~lo ~hi ~entries ~tables () =
       let b = Hashtbl.find block_start start in
       if b.is_data then () (* data blocks have no successors *)
       else
-        match b.term with
+        try
+          match b.term with
         | T_none when noret -> () (* ends in exit: no successors *)
         | T_none ->
             (* falls through to bend *)
@@ -431,7 +493,12 @@ let build ~mach ~cache ~fetch ~lo ~hi ~entries ~tables () =
             | None ->
                 bld.b_complete <- false;
                 ignore
-                  (connect bld ~editable:false dslot exit_block (Ek_computed None))))
+                  (connect bld ~editable:false dslot exit_block (Ek_computed None)))
+        with Degrade { addr; what } ->
+          Diag.report diag Diag.Warn ~source:"cfg" ~loc:(Diag.at_addr addr)
+            "%s; block at 0x%x degraded to data" what start;
+          b.is_data <- true;
+          b.term <- T_none)
     raw;
   (* ---- entry and exit blocks ---- *)
   let entry_list =
@@ -460,11 +527,20 @@ let build ~mach ~cache ~fetch ~lo ~hi ~entries ~tables () =
       block_at = Hashtbl.copy block_start;
     }
   in
-  (* ---- reachability ---- *)
-  let rec visit b =
-    if not b.reachable then (
-      b.reachable <- true;
-      List.iter (fun e -> visit e.edst) b.succs)
+  (* ---- reachability (explicit worklist: degenerate mutants can produce
+     block chains deep enough to overflow the OCaml stack) ---- *)
+  let visit b0 =
+    let stack = ref [ b0 ] in
+    let continue_ = ref true in
+    while !continue_ do
+      match !stack with
+      | [] -> continue_ := false
+      | b :: rest ->
+          stack := rest;
+          if not b.reachable then (
+            b.reachable <- true;
+            List.iter (fun e -> stack := e.edst :: !stack) b.succs)
+    done
   in
   List.iter (fun (_, e) -> visit e) entry_list;
   (* ---- hidden-routine candidate: unreachable valid code after the last

@@ -33,10 +33,13 @@
 
 open Eel_arch
 module C = Cfg
+module Diag = Eel_robust.Diag
 
+(** Historical alias: edit failures are now {!Diag.Error} values carrying
+    {!Diag.Edit_error}; kept so old match arms keep compiling. *)
 exception Edit_error of string
 
-let err fmt = Printf.ksprintf (fun s -> raise (Edit_error s)) fmt
+let err fmt = Diag.edit_error fmt
 
 (* ------------------------------------------------------------------ *)
 (* Edit accumulation                                                   *)
@@ -691,3 +694,44 @@ let produce (ed : editor) : edited =
     ed_tables = tables;
     ed_uses_xlat = em.uses_xlat;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Post-produce invariant verification                                 *)
+(* ------------------------------------------------------------------ *)
+
+(** [verify ed] checks the structural invariants an {!edited} routine must
+    satisfy before it may be placed in an output image. Returns the list of
+    violations (empty = sound):
+
+    - every word is a representable 32-bit instruction;
+    - no unresolved local-label patch survived {!produce};
+    - every label, entry stub and origin-map index lies within the emitted
+      word array ([= length] is tolerated for degenerate entries that fall
+      off the end of a routine whose tail was classified as data). *)
+let verify (ed : edited) : string list =
+  let n = Array.length ed.ed_words in
+  let problems = ref [] in
+  let bad fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  Array.iteri
+    (fun idx (ew : eword) ->
+      if ew.w < 0 || ew.w > 0xFFFF_FFFF then
+        bad "word %d is not a 32-bit value: 0x%x" idx ew.w;
+      match ew.patch with
+      | P_label l -> bad "word %d carries an unresolved local label %d" idx l
+      | P_none | P_orig _ | P_reloc _ | P_hi_label _ | P_lo_label _ -> ())
+    ed.ed_words;
+  Hashtbl.iter
+    (fun l idx ->
+      if idx < 0 || idx > n then bad "label %d resolves outside the routine: %d" l idx)
+    ed.ed_labels;
+  List.iter
+    (fun (orig, idx) ->
+      if idx < 0 || idx > n then
+        bad "entry 0x%x maps outside the routine: word %d of %d" orig idx n)
+    ed.ed_entries;
+  Hashtbl.iter
+    (fun orig idx ->
+      if idx < 0 || idx > n then
+        bad "origin 0x%x maps outside the routine: word %d of %d" orig idx n)
+    ed.ed_origin;
+  List.rev !problems

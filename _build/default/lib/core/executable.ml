@@ -33,10 +33,13 @@
 open Eel_arch
 module Sef = Eel_sef.Sef
 module C = Cfg
+module Diag = Eel_robust.Diag
 
+(** Historical alias: executable-level failures are now {!Diag.Error} values
+    carrying {!Diag.Exe_error}; kept so old match arms keep compiling. *)
 exception Exe_error of string
 
-let err fmt = Printf.ksprintf (fun s -> raise (Exe_error s)) fmt
+let err fmt = Diag.exe_error fmt
 
 type routine = {
   r_name : string;
@@ -74,6 +77,9 @@ type t = {
   mutable placed : (routine * Edit.edited * int) list;
   mutable new_text_base : int;
   mutable new_text_size : int;
+  (* robustness plumbing *)
+  diag : Diag.sink option;  (** degradation diagnostics accumulate here *)
+  work : Diag.budget;  (** decode/analysis work bound (anti-non-termination) *)
 }
 
 let data_region_size = 4 * 1024 * 1024
@@ -86,12 +92,27 @@ let text_section exe =
   | [] -> err "executable has no text section"
   | _ -> err "multiple text sections are not supported"
 
-(** [read_contents ?cache_instrs mach exe] opens an executable and performs
-    symbol-table refinement stages 1–3. Stage 4 happens lazily as CFGs are
-    built. *)
-let read_contents ?(cache_instrs = true) (mach : Machine.t) (exe : Sef.t) =
+(** [read_contents ?cache_instrs ?diag ?budget mach exe] opens an executable
+    and performs symbol-table refinement stages 1–3. Stage 4 happens lazily
+    as CFGs are built. [diag] receives degradation warnings from the whole
+    pipeline; [budget] bounds total analysis work (default
+    {!Diag.default_budget_units}). *)
+let read_contents ?(cache_instrs = true) ?diag ?budget (mach : Machine.t)
+    (exe : Sef.t) =
   let text = text_section exe in
   let text_lo = text.Sef.vaddr and text_hi = text.Sef.vaddr + text.Sef.size in
+  if text_lo land 3 <> 0 then
+    Diag.fail
+      (Diag.Sef_error
+         {
+           what = Printf.sprintf "text section base 0x%x is misaligned" text_lo;
+           loc = Diag.at_addr text_lo;
+         });
+  let work =
+    match budget with
+    | Some b -> b
+    | None -> Diag.budget ~stage:"analysis" Diag.default_budget_units
+  in
   let high = Sef.high_addr exe in
   let align64k a = (a + 0xFFFF) land lnot 0xFFFF in
   let xlat_base = align64k high in
@@ -121,8 +142,11 @@ let read_contents ?(cache_instrs = true) (mach : Machine.t) (exe : Sef.t) =
       placed = [];
       new_text_base = 0;
       new_text_size = 0;
+      diag;
+      work;
     }
   in
+  Diag.spend work (((text_hi - text_lo) / 4) + 1);
   (* ---- one linear scan of the text segment for control transfers ---- *)
   let call_targets = Hashtbl.create 64 in
   let branch_pairs = ref [] in
@@ -256,6 +280,31 @@ let read_contents ?(cache_instrs = true) (mach : Machine.t) (exe : Sef.t) =
     !branch_pairs;
   t
 
+(** [open_exe ?strict ?diag ?cache_instrs ?budget mach exe] — the
+    Result-returning front door. Re-validates the in-memory image (callers
+    may have constructed [exe] directly rather than via {!Sef.load}), then
+    runs symbol-table refinement. [Error _] carries the structured failure;
+    diagnostics, if a sink was supplied, describe everything that was
+    degraded along the way. In [strict] mode the sink promotes warnings to
+    errors and validation failures reject the executable. *)
+let open_exe ?(strict = false) ?diag ?cache_instrs ?budget (mach : Machine.t)
+    (exe : Sef.t) : (t, Diag.error) result =
+  Diag.guard (fun () ->
+      let sink = match diag with Some s -> Some s | None when strict -> Some (Diag.create ~strict ()) | None -> None in
+      Sef.validate_exn ?diag:sink exe;
+      (match sink with
+      | Some s when Diag.has_errors s ->
+          Diag.fail
+            (Diag.Sef_error
+               {
+                 what =
+                   Printf.sprintf "input rejected: %d validation error(s)"
+                     (Diag.errors s);
+                 loc = Diag.no_loc;
+               })
+      | _ -> ());
+      read_contents ?cache_instrs ?diag:sink ?budget mach exe)
+
 let routines t = t.routines
 
 let hidden_routines t = t.hidden
@@ -275,8 +324,8 @@ let rec build_cfg t (r : routine) =
   let fetch = fetch t in
   let rec fixpoint tables iter =
     let g =
-      C.build ~mach:t.mach ~cache:t.cache ~fetch ~lo:r.r_lo ~hi:r.r_hi
-        ~entries:r.r_entries ~tables ()
+      C.build ?diag:t.diag ~budget:t.work ~mach:t.mach ~cache:t.cache ~fetch
+        ~lo:r.r_lo ~hi:r.r_hi ~entries:r.r_entries ~tables ()
     in
     if not t.slicing then g
     else
@@ -445,8 +494,15 @@ let finalize t =
   | Some _ -> ()
   | None ->
       let work = t.routines @ t.hidden in
-      (* producing may discover more hidden routines; iterate to a fixpoint *)
-      let rec produce_all () =
+      (* producing may discover more hidden routines; iterate to a fixpoint.
+         The iteration count is bounded: each round either produces every
+         known routine or was triggered by a freshly-discovered hidden
+         routine, and hidden discovery strictly shrinks extents — but a
+         hostile input must not turn an invariant bug into a hang, so cap
+         the rounds and fail loudly instead. *)
+      let rec produce_all iter =
+        if iter > 1024 then
+          Diag.invariant_error "finalize: produce fixpoint did not converge";
         List.iter
           (fun r ->
             if r.r_edited = None then
@@ -454,10 +510,10 @@ let finalize t =
           (t.routines @ t.hidden);
         if List.exists (fun r -> r.r_edited = None && not (is_data_table t r))
              (t.routines @ t.hidden)
-        then produce_all ()
+        then produce_all (iter + 1)
       in
       ignore work;
-      produce_all ();
+      produce_all 0;
       (* assign bases *)
       let text_base = (t.code_cursor + 0xFFF) land lnot 0xFFF in
       let cursor = ref text_base in
@@ -488,7 +544,35 @@ let finalize t =
       (* stash placement for the writer *)
       t.placed <- placed;
       t.new_text_base <- text_base;
-      t.new_text_size <- !cursor - text_base
+      t.new_text_size <- !cursor - text_base;
+      (* ---- post-edit invariant verification (runs before any output can
+         be produced: [to_edited_sef] and [edited_addr] both come through
+         here). A violation is an EEL bug or a hostile input that slipped
+         past degradation — either way, fail with a typed error rather than
+         emit a silently-corrupt image. ---- *)
+      List.iter
+        (fun ((r : routine), (ed : Edit.edited), base) ->
+          (match Edit.verify ed with
+          | [] -> ()
+          | p :: _ ->
+              Diag.invariant_error "routine %s: %s" r.r_name p);
+          (* the translation map must be total and consistent over the
+             routine's edited entry points *)
+          List.iter
+            (fun (orig, idx) ->
+              match Hashtbl.find_opt map orig with
+              | None ->
+                  Diag.invariant_error
+                    "routine %s: entry 0x%x missing from the address map"
+                    r.r_name orig
+              | Some v when v <> base + (4 * idx) ->
+                  Diag.invariant_error
+                    "routine %s: entry 0x%x maps to 0x%x, expected 0x%x"
+                    r.r_name orig v
+                    (base + (4 * idx))
+              | Some _ -> ())
+            ed.Edit.ed_entries)
+        placed
 
 (** [edited_addr t a] — the edited location of original instruction address
     [a] (paper Fig. 1). *)

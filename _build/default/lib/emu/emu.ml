@@ -56,17 +56,32 @@ let default_headroom = 8 * 1024 * 1024
 
 let stack_size = 1024 * 1024
 
+(** Refuse to build images larger than this (a hostile section placed near
+    the top of the 32-bit address space must fault, not drive [Bytes.make]
+    into a multi-gigabyte allocation). *)
+let max_image_bytes = 1024 * 1024 * 1024
+
 (** [load ?headroom exe] builds a machine state with [exe]'s sections copied
     into a flat memory image, the stack pointer at the top of memory, and
-    pc at the entry point. *)
+    pc at the entry point. Raises {!Fault} when the image cannot be built:
+    sections with negative geometry, contents shorter than the declared
+    size, or an address space larger than {!max_image_bytes}. *)
 let load ?(headroom = default_headroom) (exe : Eel_sef.Sef.t) =
   let high = Eel_sef.Sef.high_addr exe in
   let size = high + headroom in
+  if size < 0 || size > max_image_bytes then
+    fault "image too large: sections end at 0x%x" high;
   let mem = Bytes.make size '\000' in
   List.iter
     (fun (s : Eel_sef.Sef.section) ->
-      if s.sec_kind <> Eel_sef.Sef.Bss then
-        Bytes.blit s.contents 0 mem s.vaddr s.size)
+      if s.sec_kind <> Eel_sef.Sef.Bss then (
+        if s.vaddr < 0 || s.size < 0 || s.vaddr + s.size > size then
+          fault "section %s does not fit the image: vaddr=0x%x size=%d"
+            s.sec_name s.vaddr s.size;
+        if Bytes.length s.contents < s.size then
+          fault "section %s declares %d bytes but stores %d" s.sec_name s.size
+            (Bytes.length s.contents);
+        Bytes.blit s.contents 0 mem s.vaddr s.size))
     exe.sections;
   let regs = Array.make Regs.num_regs 0 in
   regs.(Regs.sp) <- W.mask (size - 64) land lnot 7;
@@ -297,12 +312,16 @@ let step t =
       | Insn.Lduh -> set_reg t rd (load_mem t addr 2 ~signed:false)
       | Insn.Ldsh -> set_reg t rd (load_mem t addr 2 ~signed:true)
       | Insn.Ldd ->
+          (* SPARC: rd must be even; an odd pair would run past %r31 into
+             the emulator's icc/y slots *)
+          if rd land 1 <> 0 then fault "ldd with odd rd %%r%d at pc=0x%x" rd pc;
           set_reg t rd (load_mem t addr 4 ~signed:false);
           set_reg t (rd + 1) (load_mem t (addr + 4) 4 ~signed:false)
       | Insn.St -> store_mem t addr 4 (reg t rd)
       | Insn.Stb -> store_mem t addr 1 (reg t rd)
       | Insn.Sth -> store_mem t addr 2 (reg t rd)
       | Insn.Std ->
+          if rd land 1 <> 0 then fault "std with odd rd %%r%d at pc=0x%x" rd pc;
           store_mem t addr 4 (reg t rd);
           store_mem t (addr + 4) 4 (reg t (rd + 1))));
   t.pc <- !next_pc;

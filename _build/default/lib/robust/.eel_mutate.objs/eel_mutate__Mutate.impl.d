@@ -1,0 +1,1 @@
+lib/robust/mutate.ml: Bytes Char Eel_sef List Printf String

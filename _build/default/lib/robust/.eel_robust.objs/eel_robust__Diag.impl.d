@@ -1,0 +1,1 @@
+lib/robust/diag.ml: Eel_util Format List Option Printexc Printf Result String

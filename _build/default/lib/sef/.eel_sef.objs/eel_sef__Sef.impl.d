@@ -1,1 +1,1 @@
-lib/sef/sef.ml: Buffer Bytebuf Bytes Eel_util Format List Printf Word
+lib/sef/sef.ml: Buffer Bytebuf Bytes Eel_robust Eel_util Format Fun List Printf String Word

@@ -13,6 +13,7 @@
     SPARC convention). *)
 
 open Eel_util
+module Diag = Eel_robust.Diag
 
 type sec_kind = Text | Data | Bss
 
@@ -84,20 +85,20 @@ let high_addr t =
 
 let sec_kind_code = function Text -> 0 | Data -> 1 | Bss -> 2
 
-let sec_kind_of_code = function
+let sec_kind_of_code ~offset = function
   | 0 -> Text
   | 1 -> Data
   | 2 -> Bss
-  | n -> failwith (Printf.sprintf "SEF: bad section kind %d" n)
+  | n -> Diag.sef_error ~loc:(Diag.at_offset offset) "bad section kind %d" n
 
 let sym_kind_code = function Func -> 0 | Object -> 1 | Label -> 2 | Debug -> 3
 
-let sym_kind_of_code = function
+let sym_kind_of_code ~offset = function
   | 0 -> Func
   | 1 -> Object
   | 2 -> Label
   | 3 -> Debug
-  | n -> failwith (Printf.sprintf "SEF: bad symbol kind %d" n)
+  | n -> Diag.sef_error ~loc:(Diag.at_offset offset) "bad symbol kind %d" n
 
 let to_string t =
   let buf = Buffer.create 4096 in
@@ -123,16 +124,32 @@ let to_string t =
     t.symbols;
   Buffer.contents buf
 
-let of_string src =
+(** {2 Parsing}
+
+    [parse] decodes the container, raising {!Diag.Error} on structural
+    damage. Anything recoverable (trailing bytes, suspicious metadata) goes
+    to the diagnostics sink instead. *)
+
+(** Addresses are 32-bit: every [vaddr .. vaddr+size) range must fit. *)
+let max_addr = 0x1_0000_0000
+
+let parse ?diag src =
   let r = Bytebuf.reader src in
   let m = Bytes.to_string (Bytebuf.rbytes r 4) in
-  if m <> magic then failwith "SEF: bad magic";
+  if m <> magic then
+    Diag.sef_error ~loc:(Diag.at_offset 0) "bad magic %S (expected %S)" m magic;
   let entry = Bytebuf.r32 r in
   let nsec = Bytebuf.r32 r in
+  (* a section costs at least 13 bytes on disk: an empty name (2), kind (1),
+     vaddr (4) and size (4) make 11, plus the count word amortized — use a
+     conservative floor to reject absurd counts before looping *)
+  if nsec > String.length src then
+    Diag.sef_error ~loc:(Diag.at_offset 8) "implausible section count %d" nsec;
   let sections =
     List.init nsec (fun _ ->
         let sec_name = Bytebuf.rstr r in
-        let sec_kind = sec_kind_of_code (Bytebuf.r8 r) in
+        let kind_off = r.Bytebuf.pos in
+        let sec_kind = sec_kind_of_code ~offset:kind_off (Bytebuf.r8 r) in
         let vaddr = Bytebuf.r32 r in
         let size = Bytebuf.r32 r in
         let contents =
@@ -140,29 +157,140 @@ let of_string src =
         in
         { sec_name; sec_kind; vaddr; size; contents })
   in
+  let nsym_off = r.Bytebuf.pos in
   let nsym = Bytebuf.r32 r in
+  if nsym > String.length src then
+    Diag.sef_error ~loc:(Diag.at_offset nsym_off) "implausible symbol count %d" nsym;
   let symbols =
     List.init nsym (fun _ ->
         let sym_name = Bytebuf.rstr r in
         let value = Bytebuf.r32 r in
         let sym_size = Bytebuf.r32 r in
-        let kind = sym_kind_of_code (Bytebuf.r8 r) in
+        let kind_off = r.Bytebuf.pos in
+        let kind = sym_kind_of_code ~offset:kind_off (Bytebuf.r8 r) in
         let global = Bytebuf.r8 r = 1 in
         { sym_name; value; sym_size; kind; global })
   in
+  if not (Bytebuf.eof r) then
+    Diag.report diag Diag.Warn ~source:"sef" ~loc:(Diag.at_offset r.Bytebuf.pos)
+      "%d trailing byte(s) after the symbol table"
+      (String.length src - r.Bytebuf.pos);
   { entry; sections; symbols }
+
+(** {2 Validation}
+
+    [validate_exn] checks a (parsed or programmatically built) image for the
+    invariants the rest of the pipeline relies on. Violations that would
+    make later stages crash — size/contents mismatches, overflowing address
+    ranges — are hard errors; merely suspicious structure (overlapping
+    sections, dangling or misaligned symbols, a missing text section) is
+    reported as warnings, because paper §3.1's whole point is to analyze
+    such executables anyway. *)
+
+let validate_exn ?diag t =
+  let warn ?loc fmt = Diag.report diag Diag.Warn ~source:"sef" ?loc fmt in
+  List.iter
+    (fun s ->
+      if s.size < 0 then
+        Diag.sef_error ~loc:(Diag.at_addr s.vaddr) "section %s has negative size %d"
+          s.sec_name s.size;
+      if s.vaddr < 0 || s.vaddr + s.size > max_addr then
+        Diag.sef_error "section %s range 0x%x+0x%x overflows the 32-bit address space"
+          s.sec_name s.vaddr s.size;
+      if s.sec_kind <> Bss && Bytes.length s.contents <> s.size then
+        Diag.sef_error ~loc:(Diag.at_addr s.vaddr)
+          "section %s declares %d bytes but stores %d" s.sec_name s.size
+          (Bytes.length s.contents))
+    t.sections;
+  if t.entry < 0 || t.entry >= max_addr then
+    Diag.sef_error "entry point 0x%x outside the 32-bit address space" t.entry;
+  (* overlap: sort by vaddr and compare neighbours *)
+  let sorted =
+    List.sort (fun a b -> compare (a.vaddr, a.size) (b.vaddr, b.size)) t.sections
+  in
+  let rec check_overlap = function
+    | a :: (b :: _ as rest) ->
+        if a.vaddr + a.size > b.vaddr then
+          warn ~loc:(Diag.at_addr b.vaddr) "sections %s and %s overlap" a.sec_name
+            b.sec_name;
+        check_overlap rest
+    | _ -> []
+  in
+  ignore (check_overlap sorted);
+  if not (List.exists (fun s -> s.sec_kind = Text) t.sections) then
+    warn "no text section";
+  (match section_at t t.entry with
+  | Some s when s.sec_kind = Text ->
+      if t.entry land 3 <> 0 then
+        warn ~loc:(Diag.at_addr t.entry) "entry point 0x%x is misaligned" t.entry
+  | Some s ->
+      warn ~loc:(Diag.at_addr t.entry) "entry point 0x%x lies in non-text section %s"
+        t.entry s.sec_name
+  | None -> warn ~loc:(Diag.at_addr t.entry) "entry point 0x%x maps to no section" t.entry);
+  (* symbol pathologies: cap the per-symbol reports so a mutant with a
+     thousand bogus symbols cannot blow up the sink *)
+  let reported = ref 0 in
+  let cap = 16 in
+  let sym_warn loc fmt =
+    Printf.ksprintf
+      (fun msg ->
+        incr reported;
+        if !reported <= cap then warn ~loc "%s" msg)
+      fmt
+  in
+  List.iter
+    (fun s ->
+      match section_at t s.value with
+      | None -> sym_warn (Diag.at_addr s.value) "symbol %s dangles at 0x%x" s.sym_name s.value
+      | Some sec ->
+          if sec.sec_kind = Text && s.value land 3 <> 0 then
+            sym_warn (Diag.at_addr s.value)
+              "symbol %s at 0x%x is not on an instruction boundary" s.sym_name
+              s.value)
+    t.symbols;
+  if !reported > cap then
+    warn "%d further symbol problems suppressed" (!reported - cap)
+
+(** {2 Loading}
+
+    [load] is the [Result]-returning front door: parse, then validate, then
+    (in strict mode, or with a strict sink) refuse inputs that produced
+    error-severity diagnostics. [of_string] is the historical exception shim
+    over the same pipeline. *)
+
+let load ?(strict = false) ?diag src =
+  let sink = match diag with Some s -> s | None -> Diag.create ~strict () in
+  Diag.guard (fun () ->
+      let t = parse ~diag:sink src in
+      validate_exn ~diag:sink t;
+      if Diag.has_errors sink then
+        Diag.sef_error "input rejected: %d error(s) recorded during load"
+          (Diag.errors sink);
+      t)
+
+let of_string src =
+  match load src with Ok t -> t | Error e -> raise (Diag.Error e)
 
 let write_file path t =
   let oc = open_out_bin path in
   output_string oc (to_string t);
   close_out oc
 
+let load_file ?strict ?diag path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error m ->
+      Error (Diag.Sef_error { what = m; loc = Diag.in_file path })
+  | exception End_of_file ->
+      Error (Diag.Sef_error { what = "unexpected end of file"; loc = Diag.in_file path })
+  | s -> load ?strict ?diag s
+
 let read_file path =
-  let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  of_string s
+  match load_file path with Ok t -> t | Error e -> raise (Diag.Error e)
 
 (** Total bytes of text and data contents — the "program size" reported in
     Table 1. *)

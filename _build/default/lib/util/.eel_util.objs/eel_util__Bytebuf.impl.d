@@ -1,1 +1,1 @@
-lib/util/bytebuf.ml: Buffer Bytes Char String
+lib/util/bytebuf.ml: Buffer Bytes Char Printexc Printf String

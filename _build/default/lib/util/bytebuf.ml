@@ -35,16 +35,38 @@ let wbytes buf (b : bytes) = Buffer.add_bytes buf b
 (** {1 Reading}
 
     A reader is a mutable cursor over a [string]. All read functions raise
-    [Failure] on truncated input. *)
+    {!Truncated} on short input, carrying the cursor position and the
+    wanted/available byte counts so format-level code can turn the failure
+    into a precise structured diagnostic. *)
 
 type reader = { src : string; mutable pos : int }
+
+(** Raised when a read runs past the end of the input. [context] names the
+    reader primitive, [offset] is the cursor position, [wanted] the bytes the
+    read needed and [available] how many remained. *)
+exception
+  Truncated of { context : string; offset : int; wanted : int; available : int }
+
+let () =
+  Printexc.register_printer (function
+    | Truncated { context; offset; wanted; available } ->
+        Some
+          (Printf.sprintf
+             "Bytebuf.Truncated(%s: at offset %d wanted %d bytes, %d available)"
+             context offset wanted available)
+    | _ -> None)
+
+let truncated r context wanted =
+  raise
+    (Truncated
+       { context; offset = r.pos; wanted; available = String.length r.src - r.pos })
 
 let reader src = { src; pos = 0 }
 
 let eof r = r.pos >= String.length r.src
 
 let r8 r =
-  if r.pos >= String.length r.src then failwith "Bytebuf.r8: truncated input";
+  if r.pos >= String.length r.src then truncated r "r8" 1;
   let v = Char.code r.src.[r.pos] in
   r.pos <- r.pos + 1;
   v
@@ -61,13 +83,14 @@ let r32 r =
 
 let rstr r =
   let n = r16 r in
-  if r.pos + n > String.length r.src then failwith "Bytebuf.rstr: truncated input";
+  if r.pos + n > String.length r.src then truncated r "rstr" n;
   let s = String.sub r.src r.pos n in
   r.pos <- r.pos + n;
   s
 
 let rbytes r n =
-  if r.pos + n > String.length r.src then failwith "Bytebuf.rbytes: truncated input";
+  if n < 0 then truncated r "rbytes" n;
+  if r.pos + n > String.length r.src then truncated r "rbytes" n;
   let b = Bytes.of_string (String.sub r.src r.pos n) in
   r.pos <- r.pos + n;
   b

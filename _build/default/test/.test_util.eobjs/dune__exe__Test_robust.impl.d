@@ -1,0 +1,1 @@
+test/test_robust.ml: Alcotest Bytes Eel Eel_arch Eel_emu Eel_mutate Eel_robust Eel_sef Eel_sparc Eel_workload List Mach String

@@ -1,1 +1,1 @@
-test/test_sef.ml: Alcotest Bytes Char Eel_sef Eel_util Filename List Option Printf QCheck QCheck_alcotest Sys
+test/test_sef.ml: Alcotest Bytes Char Eel_robust Eel_sef Eel_util Filename List Option Printf QCheck QCheck_alcotest Sys

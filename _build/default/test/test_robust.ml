@@ -1,0 +1,360 @@
+(* Robustness tests: the never-crash contract of the load -> CFG -> edit
+   front end (paper §3.1: EEL must survive stripped binaries, misleading
+   symbol tables, and data in the text segment — here extended to actively
+   hostile containers).
+
+   Every mutation class must produce either a successful load or a
+   structured [Diag.error]; an escaped exception of any other kind fails
+   the test. Strict mode must reject what non-strict mode merely warns
+   about, and the emulator must [Fault] — never [Invalid_argument] or an
+   aborting allocation — on images that lie about their geometry. *)
+
+module Sef = Eel_sef.Sef
+module Diag = Eel_robust.Diag
+module Mutate = Eel_mutate.Mutate
+module E = Eel.Executable
+module C = Eel.Cfg
+module Emu = Eel_emu.Emu
+open Eel_sparc
+
+let mach = Mach.mach
+
+let base ?(seed = 42) ?(routines = 8) () =
+  Eel_workload.Gen.assemble_program
+    { Eel_workload.Gen.default with seed; routines }
+
+(* The pipeline under test, mirroring bin/eel_fuzz.ml. *)
+type outcome = Loaded of Diag.sink | Rejected of Diag.error
+
+let pipeline ?(strict = false) bytes =
+  let diag = Diag.create ~strict () in
+  match Sef.load ~diag bytes with
+  | Error e -> Rejected e
+  | Ok exe -> (
+      let budget = Diag.budget ~stage:"test" (8 * 1024 * 1024) in
+      match E.open_exe ~diag ~budget mach exe with
+      | Error e -> Rejected e
+      | Ok t -> (
+          match
+            Diag.guard (fun () ->
+                ignore (E.jump_stats t);
+                ignore (E.to_edited_sef t ()))
+          with
+          | Ok () -> Loaded diag
+          | Error e -> Rejected e))
+
+(* [pipeline] already confines failures to [Rejected]; anything else
+   propagates out of the test case and fails it. *)
+let survives bytes =
+  match pipeline bytes with Loaded _ -> `Ok | Rejected _ -> `Rejected
+
+(* ------------------------------------------------------------------ *)
+(* One test per mutation class                                         *)
+(* ------------------------------------------------------------------ *)
+
+let mutant kind seed =
+  let r = Mutate.rng seed in
+  Mutate.apply r kind (base ())
+
+let expect_outcome kind seeds expected =
+  List.iter
+    (fun seed ->
+      let got = survives (mutant kind seed) in
+      match expected with
+      | `Any -> ()
+      | e ->
+          if got <> e then
+            Alcotest.failf "%s (seed %d): expected %s, got %s" (Mutate.name kind)
+              seed
+              (match e with `Ok -> "ok" | `Rejected -> "rejected" | `Any -> "any")
+              (match got with `Ok -> "ok" | `Rejected -> "rejected"))
+    seeds
+
+let seeds = [ 1; 2; 3; 4; 5 ]
+
+let test_truncate_header () = expect_outcome Mutate.Truncate_header seeds `Rejected
+
+let test_truncate_tail () = expect_outcome Mutate.Truncate_tail seeds `Rejected
+
+let test_bad_magic () = expect_outcome Mutate.Bad_magic seeds `Rejected
+
+let test_bogus_section_kind () =
+  expect_outcome Mutate.Bogus_section_kind seeds `Rejected
+
+let test_giant_section_size () =
+  expect_outcome Mutate.Giant_section_size seeds `Rejected
+
+let test_empty_text () = expect_outcome Mutate.Empty_text seeds `Rejected
+
+let test_huge_vaddr () = expect_outcome Mutate.Huge_vaddr seeds `Rejected
+
+let test_bit_flip_text () =
+  (* data-vs-code degradation: bit flips may corrupt instructions but the
+     front end carries on (possibly rejecting, never crashing) *)
+  expect_outcome Mutate.Bit_flip_text seeds `Any
+
+let test_overlapping_sections () =
+  expect_outcome Mutate.Overlapping_sections seeds `Any
+
+let test_shuffled_sections () = expect_outcome Mutate.Shuffled_sections seeds `Ok
+
+let test_bad_entry () = expect_outcome Mutate.Bad_entry seeds `Rejected
+
+let test_stripped () = expect_outcome Mutate.Stripped seeds `Ok
+
+let test_duplicate_symbols () = expect_outcome Mutate.Duplicate_symbols seeds `Ok
+
+let test_debug_pollution () = expect_outcome Mutate.Debug_pollution seeds `Ok
+
+let test_dangling_symbol () =
+  (* loads, but the dangling address must surface as a warning *)
+  List.iter
+    (fun seed ->
+      match pipeline (mutant Mutate.Dangling_symbol seed) with
+      | Rejected e -> Alcotest.failf "rejected: %s" (Diag.error_message e)
+      | Loaded diag ->
+          Alcotest.(check bool)
+            "dangling symbol warned" true
+            (Diag.warnings diag > 0))
+    seeds
+
+let test_misaligned_symbol () =
+  List.iter
+    (fun seed ->
+      match pipeline (mutant Mutate.Misaligned_symbol seed) with
+      | Rejected e -> Alcotest.failf "rejected: %s" (Diag.error_message e)
+      | Loaded diag ->
+          Alcotest.(check bool)
+            "misaligned symbol warned" true
+            (Diag.warnings diag > 0))
+    seeds
+
+(* ------------------------------------------------------------------ *)
+(* Structured diagnostics                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_strict_promotion () =
+  (* a sink in strict mode records warnings as errors… *)
+  let s = Diag.create ~strict:true () in
+  Diag.emit s Diag.Warn ~source:"test" "suspicious but salvageable";
+  Alcotest.(check int) "promoted to error" 1 (Diag.errors s);
+  Alcotest.(check int) "no warning recorded" 0 (Diag.warnings s);
+  (* …so strict load refuses an input non-strict load accepts *)
+  let bytes = mutant Mutate.Dangling_symbol 1 in
+  (match Sef.load bytes with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "non-strict load failed: %s" (Diag.error_message e));
+  match Sef.load ~strict:true bytes with
+  | Ok _ -> Alcotest.fail "strict load accepted a dangling symbol"
+  | Error (Diag.Sef_error _) -> ()
+  | Error e -> Alcotest.failf "unexpected error: %s" (Diag.error_message e)
+
+let test_truncation_at_sef_boundary () =
+  (* Bytebuf.Truncated from deep inside the reader must surface as a typed
+     Sef_error carrying the offset, not as a raw exception *)
+  let whole = Sef.to_string (base ()) in
+  let cut = String.sub whole 0 (String.length whole / 2) in
+  match Sef.load cut with
+  | Ok _ -> Alcotest.fail "truncated input accepted"
+  | Error (Diag.Sef_error { loc; _ }) ->
+      Alcotest.(check bool) "offset recorded" true (loc.Diag.l_offset <> None)
+  | Error e -> Alcotest.failf "unexpected error: %s" (Diag.error_message e)
+
+let test_validation_rejects_lying_sections () =
+  (* in-memory executables (never serialized) are validated by open_exe *)
+  let lying =
+    Sef.create ~entry:0x1000
+      ~sections:
+        [
+          {
+            Sef.sec_name = ".text";
+            sec_kind = Sef.Text;
+            vaddr = 0x1000;
+            size = 64;
+            contents = Bytes.make 8 '\000' (* 8 <> 64 *);
+          };
+        ]
+      ~symbols:[]
+  in
+  (match E.open_exe mach lying with
+  | Ok _ -> Alcotest.fail "lying section accepted"
+  | Error (Diag.Sef_error _) -> ()
+  | Error e -> Alcotest.failf "unexpected error: %s" (Diag.error_message e));
+  let negative =
+    Sef.create ~entry:0x1000
+      ~sections:
+        [
+          {
+            Sef.sec_name = ".text";
+            sec_kind = Sef.Text;
+            vaddr = -64;
+            size = 64;
+            contents = Bytes.make 64 '\000';
+          };
+        ]
+      ~symbols:[]
+  in
+  match E.open_exe mach negative with
+  | Ok _ -> Alcotest.fail "negative vaddr accepted"
+  | Error (Diag.Sef_error _) -> ()
+  | Error e -> Alcotest.failf "unexpected error: %s" (Diag.error_message e)
+
+let test_cfg_degrades_missing_delay_slot () =
+  (* a control transfer as the very last word of a region has no delay
+     slot: the block must degrade to data with a warning, not abort *)
+  let cache = Eel.Instr_cache.create ~enabled:true mach in
+  let lo = 0x1000 in
+  let call_word = mach.Eel_arch.Machine.mk_call ~disp:0 in
+  let fetch a = if a = lo then Some call_word else None in
+  let diag = Diag.create () in
+  let g =
+    C.build ~diag ~mach ~cache ~fetch ~lo ~hi:(lo + 4) ~entries:[ lo ]
+      ~tables:[] ()
+  in
+  let b =
+    match C.block_at g lo with
+    | Some b -> b
+    | None -> Alcotest.fail "block not carved"
+  in
+  Alcotest.(check bool) "degraded to data" true b.C.is_data;
+  Alcotest.(check bool) "no terminator left" true (b.C.term = C.T_none);
+  Alcotest.(check bool) "warning emitted" true (Diag.warnings diag > 0)
+
+let test_budget_exhaustion_is_typed () =
+  let tiny = Diag.budget ~stage:"tiny" 3 in
+  match
+    Diag.guard (fun () ->
+        E.read_contents ~budget:tiny mach (base ()) |> ignore)
+  with
+  | Ok () -> Alcotest.fail "budget of 3 units survived a whole workload"
+  | Error (Diag.Budget_error { stage; limit }) ->
+      Alcotest.(check string) "stage" "tiny" stage;
+      Alcotest.(check int) "limit" 3 limit
+  | Error e -> Alcotest.failf "unexpected error: %s" (Diag.error_message e)
+
+(* ------------------------------------------------------------------ *)
+(* Emulator hardening                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let expect_fault name f =
+  try
+    ignore (f ());
+    Alcotest.failf "%s: no fault raised" name
+  with
+  | Emu.Fault _ -> ()
+  | Invalid_argument m -> Alcotest.failf "%s: raw Invalid_argument %s" name m
+
+let test_emu_rejects_lying_contents () =
+  expect_fault "lying contents" (fun () ->
+      Emu.load
+        (Sef.create ~entry:0x1000
+           ~sections:
+             [
+               {
+                 Sef.sec_name = ".text";
+                 sec_kind = Sef.Text;
+                 vaddr = 0x1000;
+                 size = 4096;
+                 contents = Bytes.make 16 '\000';
+               };
+             ]
+           ~symbols:[]))
+
+let test_emu_rejects_huge_image () =
+  (* a section at the top of the address space must fault, not allocate
+     gigabytes *)
+  expect_fault "huge image" (fun () ->
+      Emu.load
+        (Sef.create ~entry:0x1000
+           ~sections:
+             [
+               {
+                 Sef.sec_name = ".text";
+                 sec_kind = Sef.Text;
+                 vaddr = 0xFFFF_FF00;
+                 size = 256;
+                 contents = Bytes.make 256 '\000';
+               };
+             ]
+           ~symbols:[]))
+
+(* ------------------------------------------------------------------ *)
+(* Determinism and the smoke corpus                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_mutation_determinism () =
+  let t = base () in
+  List.iter
+    (fun kind ->
+      let a = Mutate.apply (Mutate.rng 7) kind t in
+      let b = Mutate.apply (Mutate.rng 7) kind t in
+      Alcotest.(check bool)
+        (Mutate.name kind ^ " deterministic")
+        true (String.equal a b))
+    Mutate.all
+
+let test_smoke_corpus () =
+  (* the satellite contract: 200 seeded mutants, every class, zero escaped
+     exceptions. [pipeline] converts structured failures to [Rejected]; any
+     other exception propagates and fails the test. *)
+  let corpus = Mutate.corpus ~seed:42 ~count:200 (base ~routines:12 ()) in
+  Alcotest.(check int) "corpus size" 200 (List.length corpus);
+  let ok = ref 0 and rejected = ref 0 in
+  List.iter
+    (fun (_, _, bytes) ->
+      match survives bytes with
+      | `Ok -> incr ok
+      | `Rejected -> incr rejected)
+    corpus;
+  Alcotest.(check int) "every mutant classified" 200 (!ok + !rejected);
+  (* the corpus must exercise both sides of the contract *)
+  Alcotest.(check bool) "some mutants load" true (!ok > 0);
+  Alcotest.(check bool) "some mutants are rejected" true (!rejected > 0)
+
+let () =
+  Alcotest.run "robust"
+    [
+      ( "mutants",
+        [
+          Alcotest.test_case "truncate header" `Quick test_truncate_header;
+          Alcotest.test_case "truncate tail" `Quick test_truncate_tail;
+          Alcotest.test_case "bad magic" `Quick test_bad_magic;
+          Alcotest.test_case "bogus section kind" `Quick test_bogus_section_kind;
+          Alcotest.test_case "giant section size" `Quick test_giant_section_size;
+          Alcotest.test_case "empty text" `Quick test_empty_text;
+          Alcotest.test_case "huge vaddr" `Quick test_huge_vaddr;
+          Alcotest.test_case "bit-flipped text" `Quick test_bit_flip_text;
+          Alcotest.test_case "overlapping sections" `Quick test_overlapping_sections;
+          Alcotest.test_case "shuffled sections" `Quick test_shuffled_sections;
+          Alcotest.test_case "bad entry" `Quick test_bad_entry;
+          Alcotest.test_case "stripped" `Quick test_stripped;
+          Alcotest.test_case "duplicate symbols" `Quick test_duplicate_symbols;
+          Alcotest.test_case "debug pollution" `Quick test_debug_pollution;
+          Alcotest.test_case "dangling symbol" `Quick test_dangling_symbol;
+          Alcotest.test_case "misaligned symbol" `Quick test_misaligned_symbol;
+        ] );
+      ( "diagnostics",
+        [
+          Alcotest.test_case "strict promotion" `Quick test_strict_promotion;
+          Alcotest.test_case "truncation at SEF boundary" `Quick
+            test_truncation_at_sef_boundary;
+          Alcotest.test_case "section validation" `Quick
+            test_validation_rejects_lying_sections;
+          Alcotest.test_case "CFG delay-slot degradation" `Quick
+            test_cfg_degrades_missing_delay_slot;
+          Alcotest.test_case "budget exhaustion" `Quick
+            test_budget_exhaustion_is_typed;
+        ] );
+      ( "emulator",
+        [
+          Alcotest.test_case "lying contents fault" `Quick
+            test_emu_rejects_lying_contents;
+          Alcotest.test_case "huge image fault" `Quick test_emu_rejects_huge_image;
+        ] );
+      ( "fuzz",
+        [
+          Alcotest.test_case "mutation determinism" `Quick
+            test_mutation_determinism;
+          Alcotest.test_case "200-mutant smoke corpus" `Quick test_smoke_corpus;
+        ] );
+    ]

@@ -52,8 +52,17 @@ let test_file_roundtrip () =
   Alcotest.(check string) "identical bytes" (Sef.to_string t) (Sef.to_string t')
 
 let test_bad_magic () =
-  Alcotest.check_raises "bad magic" (Failure "SEF: bad magic") (fun () ->
-      ignore (Sef.of_string "XXXX garbage"))
+  (* the exception shim raises the typed error… *)
+  (try
+     ignore (Sef.of_string "XXXX garbage");
+     Alcotest.fail "bad magic accepted"
+   with Eel_robust.Diag.Error (Eel_robust.Diag.Sef_error { loc; _ }) ->
+     Alcotest.(check (option int)) "error at offset 0" (Some 0) loc.Eel_robust.Diag.l_offset);
+  (* …and the Result API returns it as a value *)
+  match Sef.load "XXXX garbage" with
+  | Ok _ -> Alcotest.fail "bad magic accepted by load"
+  | Error (Eel_robust.Diag.Sef_error _) -> ()
+  | Error e -> Alcotest.fail (Eel_robust.Diag.error_message e)
 
 let test_fetch32 () =
   let t = sample () in

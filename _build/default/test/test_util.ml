@@ -63,8 +63,14 @@ let test_bytebuf_be () =
 let test_truncated_reads () =
   let r = Bytebuf.reader "ab" in
   let _ = Bytebuf.r16 r in
-  Alcotest.check_raises "r8 past end" (Failure "Bytebuf.r8: truncated input")
-    (fun () -> ignore (Bytebuf.r8 r))
+  try
+    ignore (Bytebuf.r8 r);
+    Alcotest.fail "r8 past end succeeded"
+  with Bytebuf.Truncated { context; offset; wanted; available } ->
+    Alcotest.(check string) "context" "r8" context;
+    Alcotest.(check int) "offset" 2 offset;
+    Alcotest.(check int) "wanted" 1 wanted;
+    Alcotest.(check int) "available" 0 available
 
 (* Property: sext inverts zext for in-range values. *)
 let prop_sext_zext =
