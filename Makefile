@@ -1,7 +1,8 @@
 # Convenience wrapper over dune. `make check` is the full local gate:
-# build everything, run the test suites, then the never-crash fuzz corpus.
+# build everything, run the test suites, the never-crash fuzz corpus, and
+# the observability trace smoke test.
 
-.PHONY: all build test fuzz check clean
+.PHONY: all build test fuzz trace-smoke check clean
 
 all: build
 
@@ -14,8 +15,17 @@ test:
 fuzz:
 	dune build @fuzz
 
+# End-to-end observability gate: generate a synthetic workload, run it under
+# the emulator with tracing + metrics on, then structurally validate the
+# emitted Chrome trace JSON with the bundled checker.
+trace-smoke:
+	dune build bin/workload_gen.exe bin/eel_run.exe bin/trace_check.exe
+	./_build/default/bin/workload_gen.exe --seed 7 --routines 8 -o _build/smoke.sef
+	./_build/default/bin/eel_run.exe --trace _build/smoke-trace.json --metrics _build/smoke.sef 2> /dev/null
+	./_build/default/bin/trace_check.exe _build/smoke-trace.json
+
 check:
-	dune build && dune runtest && dune build @fuzz
+	dune build && dune runtest && dune build @fuzz && $(MAKE) trace-smoke
 
 clean:
 	dune clean

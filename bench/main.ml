@@ -203,7 +203,8 @@ let e5 () =
     Eel.Stats.reset ();
     let t = E.read_contents ~cache_instrs mach exe in
     ignore (E.jump_stats t);
-    (Eel.Stats.stats.Eel.Stats.instrs_lifted, Eel.Stats.stats.Eel.Stats.instrs_alloc)
+    let s = Eel.Stats.snapshot () in
+    (s.Eel.Stats.s_instrs_lifted, s.Eel.Stats.s_instrs_alloc)
   in
   let lifted, alloc_shared = count true in
   let _, alloc_unshared = count false in
@@ -517,28 +518,99 @@ let micro () =
   print_newline ()
 
 (* ---------------------------------------------------------------- *)
+(* Per-experiment observability (ISSUE 2): every experiment runs     *)
+(* under a fresh tracer and a reset metrics registry; phase-level    *)
+(* span totals plus the registry snapshot are persisted as JSON next *)
+(* to the Bechamel numbers, so BENCH_*.json trajectories gain the    *)
+(* paper's Table 1-style per-phase cost breakdown.                   *)
+(* ---------------------------------------------------------------- *)
+
+module Trace = Eel_obs.Trace
+module Metrics = Eel_obs.Metrics
+
+type experiment_obs = {
+  x_name : string;
+  x_phases : (string * float * int) list;  (** span name, total µs, count *)
+  x_metrics : (string * Metrics.value) list;
+}
+
+let observations : experiment_obs list ref = ref []
+
+let observed (name, f) =
+  ( name,
+    fun () ->
+      Metrics.reset ();
+      Eel.Stats.reset ();
+      let tr = Trace.create () in
+      Fun.protect
+        ~finally:(fun () ->
+          observations :=
+            {
+              x_name = name;
+              x_phases = Trace.totals tr;
+              x_metrics = Metrics.snapshot ();
+            }
+            :: !observations)
+        (fun () -> Trace.with_current tr f) )
+
+let metrics_path =
+  match Sys.getenv_opt "EEL_BENCH_METRICS" with
+  | Some p -> p
+  | None -> "bench-metrics.json"
+
+let write_observations () =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"experiments\":[";
+  List.iteri
+    (fun i x ->
+      if i > 0 then Buffer.add_string buf ",";
+      Buffer.add_string buf
+        (Printf.sprintf "\n{\"name\":\"%s\",\"phases\":[" (Trace.json_escape x.x_name));
+      List.iteri
+        (fun j (span, total_us, count) ->
+          if j > 0 then Buffer.add_string buf ",";
+          Buffer.add_string buf
+            (Printf.sprintf "{\"span\":\"%s\",\"total_us\":%.1f,\"count\":%d}"
+               (Trace.json_escape span) total_us count))
+        x.x_phases;
+      Buffer.add_string buf "],\"metrics\":{";
+      List.iteri
+        (fun j (name, v) ->
+          if j > 0 then Buffer.add_string buf ",";
+          Buffer.add_string buf
+            (Printf.sprintf "\"%s\":%s" (Trace.json_escape name)
+               (Metrics.value_to_json v)))
+        x.x_metrics;
+      Buffer.add_string buf "}}")
+    (List.rev !observations);
+  Buffer.add_string buf "\n]}\n";
+  let oc = open_out metrics_path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote per-experiment phase metrics to %s\n" metrics_path
 
 let all =
-  [
-    ("table1", e1);
-    ("e2", e2);
-    ("e3", e3);
-    ("e4", e4);
-    ("e5", e5);
-    ("e6", e6);
-    ("e7", e7);
-    ("e8", e8);
-    ("optprof", optprof);
-    ("fold", ablation_folding);
-    ("slice", ablation_slicing);
-    ("span", ablation_span);
-    ("scavenge", ablation_scavenging);
-    ("micro", micro);
-  ]
+  List.map observed
+    [
+      ("table1", e1);
+      ("e2", e2);
+      ("e3", e3);
+      ("e4", e4);
+      ("e5", e5);
+      ("e6", e6);
+      ("e7", e7);
+      ("e8", e8);
+      ("optprof", optprof);
+      ("fold", ablation_folding);
+      ("slice", ablation_slicing);
+      ("span", ablation_span);
+      ("scavenge", ablation_scavenging);
+      ("micro", micro);
+    ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  match args with
+  (match args with
   | [] -> List.iter (fun (_, f) -> f ()) all
   | names ->
       List.iter
@@ -548,4 +620,5 @@ let () =
           | None ->
               Printf.eprintf "unknown experiment %s (have: %s)\n" n
                 (String.concat " " (List.map fst all)))
-        names
+        names);
+  if !observations <> [] then write_observations ()

@@ -6,12 +6,21 @@
    drained), then a no-op edit + layout + output-image build. Each mutant
    must either succeed or be rejected with a structured [Diag.error] — any
    other exception is a crash, reported with its backtrace, and the driver
-   exits 1. *)
+   exits 1.
+
+   Per-class outcomes land in the metrics registry as
+   fuzz.<class>.{survived,degraded,rejected} counters (survived = loaded
+   with no diagnostics, degraded = loaded but some analysis was degraded,
+   rejected = structured refusal) and are reported as a table at the end —
+   the coverage signal the ROADMAP's coverage-guided mutation item needs.
+   --trace FILE writes the whole corpus run as a Chrome trace timeline. *)
 
 module Sef = Eel_sef.Sef
 module Diag = Eel_robust.Diag
 module Mutate = Eel_mutate.Mutate
 module E = Eel.Executable
+module Trace = Eel_obs.Trace
+module Metrics = Eel_obs.Metrics
 
 type outcome =
   | Ok_load of int  (** diagnostics count *)
@@ -47,43 +56,50 @@ let run_one bytes =
         (Printf.sprintf "%s\n%s" (Printexc.to_string exn)
            (Printexc.get_backtrace ()))
 
+let outcome_slots = [ "survived"; "degraded"; "rejected" ]
+
+let class_counter kind slot =
+  Metrics.counter (Printf.sprintf "fuzz.%s.%s" kind slot)
+
 let () =
   Printexc.record_backtrace true;
   let count = ref 200 and seed = ref 42 and routines = ref 12 in
   let verbose = ref false in
+  let trace_file = ref "" in
   Arg.parse
     [
       ("--count", Arg.Set_int count, "NUMBER of mutants (default 200)");
       ("--seed", Arg.Set_int seed, "SEED for mutation and the base workload (default 42)");
       ("--routines", Arg.Set_int routines, "ROUTINES in the base workload (default 12)");
       ("--verbose", Arg.Set verbose, "print one line per mutant");
+      ("--trace", Arg.Set_string trace_file, "FILE to write a Chrome trace timeline to");
     ]
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
     "eel_fuzz: assert the front end never crashes on mutated executables";
+  let tracer = if !trace_file <> "" then Some (Trace.create ()) else None in
+  Trace.set_current tracer;
   let base =
     Eel_workload.Gen.assemble_program
       { Eel_workload.Gen.default with seed = !seed; routines = !routines }
   in
   let corpus = Mutate.corpus ~seed:!seed ~count:!count base in
-  let per_kind : (string, int * int) Hashtbl.t = Hashtbl.create 16 in
-  let bump kind slot =
-    let o, r = Option.value ~default:(0, 0) (Hashtbl.find_opt per_kind kind) in
-    Hashtbl.replace per_kind kind
-      (match slot with `Ok -> (o + 1, r) | `Rej -> (o, r + 1))
-  in
   let ok = ref 0 and rejected = ref 0 and crashed = ref 0 in
   List.iter
     (fun (i, kind, bytes) ->
       let kname = Mutate.name kind in
+      Trace.with_span (Printf.sprintf "mutant:%s" kname)
+        ~args:[ ("index", string_of_int i) ]
+      @@ fun () ->
       match run_one bytes with
       | Ok_load ndiag ->
           incr ok;
-          bump kname `Ok;
+          Metrics.incr
+            (class_counter kname (if ndiag = 0 then "survived" else "degraded"));
           if !verbose then
             Printf.printf "%4d %-22s ok (%d diagnostics)\n" i kname ndiag
       | Rejected e ->
           incr rejected;
-          bump kname `Rej;
+          Metrics.incr (class_counter kname "rejected");
           if !verbose then
             Printf.printf "%4d %-22s rejected: %s\n" i kname
               (Diag.error_message e)
@@ -93,8 +109,24 @@ let () =
     corpus;
   Printf.printf "eel_fuzz: %d mutants (seed %d): %d ok, %d rejected, %d crashed\n"
     (List.length corpus) !seed !ok !rejected !crashed;
-  Hashtbl.fold (fun k v acc -> (k, v) :: acc) per_kind []
-  |> List.sort compare
-  |> List.iter (fun (k, (o, r)) ->
-         Printf.printf "  %-22s %3d ok %3d rejected\n" k o r);
+  (* per-class outcome table, read back from the metrics registry *)
+  let classes =
+    List.sort_uniq compare (List.map (fun (_, k, _) -> Mutate.name k) corpus)
+  in
+  Printf.printf "%-22s %9s %9s %9s\n" "mutation class" "survived" "degraded"
+    "rejected";
+  List.iter
+    (fun kname ->
+      let read slot =
+        match Metrics.find (Printf.sprintf "fuzz.%s.%s" kname slot) with
+        | Some (Metrics.Int n) -> n
+        | _ -> 0
+      in
+      match List.map read outcome_slots with
+      | [ s; d; r ] -> Printf.printf "%-22s %9d %9d %9d\n" kname s d r
+      | _ -> assert false)
+    classes;
+  (match tracer with
+  | Some tr -> Trace.write_chrome_json tr !trace_file
+  | None -> ());
   if !crashed > 0 then exit 1

@@ -8,13 +8,19 @@ open Cmdliner
 module Sef = Eel_sef.Sef
 module E = Eel.Executable
 module C = Eel.Cfg
+module Trace = Eel_obs.Trace
+module Metrics = Eel_obs.Metrics
 
 let mach = Eel_sparc.Mach.mach
 
-let dump path disas cfg =
-  let exe = Sef.read_file path in
+let dump path disas cfg trace_file metrics =
+  let tracer =
+    if trace_file <> None || metrics then Some (Trace.create ()) else None
+  in
+  Trace.set_current tracer;
+  let exe = Trace.with_span "load" (fun () -> Sef.read_file path) in
   Format.printf "%a" Sef.pp exe;
-  let t = E.read_contents mach exe in
+  let t = Trace.with_span "analyze" (fun () -> E.read_contents mach exe) in
   (* force full analysis including hidden-routine discovery *)
   let stats = E.jump_stats t in
   Format.printf "\nroutines (%d) — %d instructions, %d indirect jumps (%d unanalyzable):\n"
@@ -54,12 +60,16 @@ let dump path disas cfg =
             List.iter (fun (e : C.edge) -> Format.printf " %a" C.pp_block e.C.edst) b.C.succs;
             Format.printf "\n")
           (C.blocks g))
-    (E.routines t)
+    (E.routines t);
+  (match (trace_file, tracer) with
+  | Some f, Some tr -> Trace.write_chrome_json tr f
+  | _ -> ());
+  if metrics then Format.eprintf "%a%!" Metrics.pp ()
 
 (* malformed inputs produce typed errors; report them as such, not as an
    "internal error" backtrace *)
-let dump path disas cfg =
-  try dump path disas cfg
+let dump path disas cfg trace_file metrics =
+  try dump path disas cfg trace_file metrics
   with Eel_robust.Diag.Error e ->
     Printf.eprintf "eel_objdump: %s\n" (Eel_robust.Diag.error_message e);
     exit 1
@@ -68,8 +78,17 @@ let cmd =
   let path = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
   let disas = Arg.(value & flag & info [ "d"; "disassemble" ]) in
   let cfg = Arg.(value & flag & info [ "cfg" ] ~doc:"dump CFG edges") in
+  let trace_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE" ~doc:"write a Chrome trace_event JSON timeline")
+  in
+  let metrics =
+    Arg.(value & flag & info [ "metrics" ] ~doc:"print the metrics registry to stderr")
+  in
   Cmd.v
     (Cmd.info "eel_objdump" ~doc:"inspect a SEF executable")
-    Term.(const dump $ path $ disas $ cfg)
+    Term.(const dump $ path $ disas $ cfg $ trace_file $ metrics)
 
 let () = exit (Cmd.eval cmd)

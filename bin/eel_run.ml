@@ -1,20 +1,42 @@
 (* eel_run — execute a SEF executable in the emulator.
 
    --rtl runs the program under the spawn-description-driven interpreter
-   instead of the handwritten emulator (they must agree; see test_spawn). *)
+   instead of the handwritten emulator (they must agree; see test_spawn).
+
+   Observability (ISSUE 2): --trace FILE writes a Chrome trace_event JSON
+   timeline of the load -> analyze -> emulate phases (view it in
+   chrome://tracing or Perfetto); --metrics profiles the emulated program
+   (per-block execution counts, instruction-class mix, memory ops) and
+   prints the metrics registry to stderr. Either flag enables the front-end
+   analysis phase so the CFG spans appear on the timeline. *)
 
 open Cmdliner
+module Trace = Eel_obs.Trace
+module Metrics = Eel_obs.Metrics
 
-let run path rtl trace fuel =
-  let exe = Eel_sef.Sef.read_file path in
+let run path rtl itrace trace_file metrics fuel =
+  let observing = trace_file <> None || metrics in
+  let tracer = if observing then Some (Trace.create ()) else None in
+  Trace.set_current tracer;
+  let exe = Trace.with_span "load" (fun () -> Eel_sef.Sef.read_file path) in
+  if observing then
+    Trace.with_span "analyze" (fun () ->
+        (* advisory: a program can be run even when analysis degrades *)
+        match Eel.Executable.open_exe Eel_sparc.Mach.mach exe with
+        | Ok t -> ignore (Eel.Executable.jump_stats t)
+        | Error e ->
+            Trace.mark "analyze-failed"
+              ~args:[ ("error", Eel_robust.Diag.error_message e) ]);
+  let profile = if metrics && not rtl then Some (Eel_emu.Emu.create_profile ()) else None in
   let result =
+    Trace.with_span "emulate" @@ fun () ->
     if rtl then (
       let el = Eel_spawn.Smach.load_description "descriptions/sparc.spawn" in
       let r, _ = Eel_spawn.Interp.run ~fuel el exe in
       r)
     else
       let hook =
-        if trace then
+        if itrace then
           Some
             (function
             | Eel_emu.Emu.Ev_exec { pc; word } ->
@@ -23,17 +45,22 @@ let run path rtl trace fuel =
             | _ -> ())
         else None
       in
-      let r, _ = Eel_emu.Emu.run_exe ~fuel ?hook exe in
+      let r, _ = Eel_emu.Emu.run_exe ~fuel ?hook ?profile exe in
       r
   in
   print_string result.Eel_emu.Emu.out;
   Printf.eprintf "[exit=%d insns=%d loads=%d stores=%d]\n"
     result.Eel_emu.Emu.exit_code result.Eel_emu.Emu.insns
     result.Eel_emu.Emu.loads result.Eel_emu.Emu.stores;
+  Option.iter Eel_emu.Emu.publish_profile profile;
+  (match (trace_file, tracer) with
+  | Some f, Some tr -> Trace.write_chrome_json tr f
+  | _ -> ());
+  if metrics then Format.eprintf "%a%!" Metrics.pp ();
   exit result.Eel_emu.Emu.exit_code
 
-let run path rtl trace fuel =
-  try run path rtl trace fuel with
+let run path rtl itrace trace_file metrics fuel =
+  try run path rtl itrace trace_file metrics fuel with
   | Eel_robust.Diag.Error e ->
       Printf.eprintf "eel_run: %s\n" (Eel_robust.Diag.error_message e);
       exit 1
@@ -46,12 +73,23 @@ let cmd =
   let rtl =
     Arg.(value & flag & info [ "rtl" ] ~doc:"use the spawn RTL interpreter")
   in
-  let trace = Arg.(value & flag & info [ "trace" ] ~doc:"trace execution") in
+  let itrace =
+    Arg.(value & flag & info [ "itrace" ] ~doc:"print each executed instruction")
+  in
+  let trace_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE" ~doc:"write a Chrome trace_event JSON timeline")
+  in
+  let metrics =
+    Arg.(value & flag & info [ "metrics" ] ~doc:"profile execution and print the metrics registry")
+  in
   let fuel =
     Arg.(value & opt int 200_000_000 & info [ "fuel" ] ~doc:"instruction budget")
   in
   Cmd.v
     (Cmd.info "eel_run" ~doc:"run a SEF executable")
-    Term.(const run $ path $ rtl $ trace $ fuel)
+    Term.(const run $ path $ rtl $ itrace $ trace_file $ metrics $ fuel)
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,64 @@
+(* trace_check — validate a Chrome trace_event JSON file (the Makefile's
+   trace-smoke gate). Checks that the file parses as JSON, carries a
+   traceEvents array, and that every event is structurally sound: a name, a
+   known phase, a non-negative timestamp, and a non-negative duration on
+   complete ("X") events. Exits 0 and prints a one-line summary on success;
+   exits 1 with the first problem otherwise. *)
+
+module Json = Eel_obs.Json
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("trace_check: " ^ m); exit 1) fmt
+
+let () =
+  let path =
+    match Sys.argv with
+    | [| _; p |] -> p
+    | _ ->
+        prerr_endline "usage: trace_check FILE.json";
+        exit 2
+  in
+  let src =
+    try
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with Sys_error m -> fail "%s" m
+  in
+  let root =
+    match Json.parse src with
+    | Ok v -> v
+    | Error m -> fail "%s: not valid JSON: %s" path m
+  in
+  let events =
+    match Json.member "traceEvents" root with
+    | Some (Json.Arr evs) -> evs
+    | Some _ -> fail "%s: traceEvents is not an array" path
+    | None -> fail "%s: no traceEvents member" path
+  in
+  let spans = ref 0 and instants = ref 0 in
+  List.iteri
+    (fun i ev ->
+      let str key =
+        match Json.member key ev with
+        | Some (Json.Str s) -> s
+        | _ -> fail "event %d: missing string %S" i key
+      in
+      let num key =
+        match Json.member key ev with
+        | Some (Json.Num n) -> n
+        | _ -> fail "event %d: missing number %S" i key
+      in
+      let name = str "name" in
+      if name = "" then fail "event %d: empty name" i;
+      if num "ts" < 0. then fail "event %d (%s): negative ts" i name;
+      match str "ph" with
+      | "X" ->
+          incr spans;
+          if num "dur" < 0. then fail "event %d (%s): negative dur" i name
+      | "i" -> incr instants
+      | ph -> fail "event %d (%s): unexpected phase %S" i name ph)
+    events;
+  if !spans = 0 then fail "%s: no complete (ph=X) span events" path;
+  Printf.printf "trace_check: %s ok (%d spans, %d instants)\n" path !spans
+    !instants

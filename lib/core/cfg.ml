@@ -233,6 +233,9 @@ let unmapped_instr =
     data-marked blocks with a warning instead of aborting construction.
     [budget] bounds the decode work (anti-non-termination guard). *)
 let build ?diag ?budget ~mach ~cache ~fetch ~lo ~hi ~entries ~tables () =
+  Eel_obs.Trace.with_span "cfg.build"
+    ~args:[ ("lo", Printf.sprintf "0x%x" lo); ("hi", Printf.sprintf "0x%x" hi) ]
+  @@ fun () ->
   if lo land 3 <> 0 then err "routine start 0x%x misaligned" lo;
   let n_words = (hi - lo) / 4 in
   Option.iter (fun b -> Diag.spend b (n_words + 1)) budget;

@@ -92,12 +92,7 @@ let text_section exe =
   | [] -> err "executable has no text section"
   | _ -> err "multiple text sections are not supported"
 
-(** [read_contents ?cache_instrs ?diag ?budget mach exe] opens an executable
-    and performs symbol-table refinement stages 1–3. Stage 4 happens lazily
-    as CFGs are built. [diag] receives degradation warnings from the whole
-    pipeline; [budget] bounds total analysis work (default
-    {!Diag.default_budget_units}). *)
-let read_contents ?(cache_instrs = true) ?diag ?budget (mach : Machine.t)
+let read_contents_inner ?(cache_instrs = true) ?diag ?budget (mach : Machine.t)
     (exe : Sef.t) =
   let text = text_section exe in
   let text_lo = text.Sef.vaddr and text_hi = text.Sef.vaddr + text.Sef.size in
@@ -280,6 +275,15 @@ let read_contents ?(cache_instrs = true) ?diag ?budget (mach : Machine.t)
     !branch_pairs;
   t
 
+(** [read_contents ?cache_instrs ?diag ?budget mach exe] opens an executable
+    and performs symbol-table refinement stages 1–3. Stage 4 happens lazily
+    as CFGs are built. [diag] receives degradation warnings from the whole
+    pipeline; [budget] bounds total analysis work (default
+    {!Diag.default_budget_units}). *)
+let read_contents ?cache_instrs ?diag ?budget (mach : Machine.t) (exe : Sef.t) =
+  Eel_obs.Trace.with_span "exe.open" (fun () ->
+      read_contents_inner ?cache_instrs ?diag ?budget mach exe)
+
 (** [open_exe ?strict ?diag ?cache_instrs ?budget mach exe] — the
     Result-returning front door. Re-validates the in-memory image (callers
     may have constructed [exe] directly rather than via {!Sef.load}), then
@@ -389,7 +393,9 @@ let control_flow_graph t r =
   match r.r_cfg with
   | Some g -> g
   | None ->
-      build_cfg t r;
+      Eel_obs.Trace.with_span "cfg.routine"
+        ~args:[ ("routine", r.r_name) ]
+        (fun () -> build_cfg t r);
       Option.get r.r_cfg
 
 (** [take_hidden t] pops one discovered hidden routine and registers it as a
@@ -493,6 +499,7 @@ let finalize t =
   match t.addr_map with
   | Some _ -> ()
   | None ->
+      Eel_obs.Trace.with_span "edit.finalize" @@ fun () ->
       let work = t.routines @ t.hidden in
       (* producing may discover more hidden routines; iterate to a fixpoint.
          The iteration count is bounded: each round either produces every
@@ -618,6 +625,7 @@ let patch_word t map ~pc (ew : Edit.eword) ~labels ~base =
     locations. *)
 let to_edited_sef t ?entry () =
   finalize t;
+  Eel_obs.Trace.with_span "edit.emit" @@ fun () ->
   let map = Option.get t.addr_map in
   let lookup a =
     match Hashtbl.find_opt map a with
@@ -818,6 +826,7 @@ type jump_stats = {
 (** Build every routine's CFG and count indirect-jump analyzability — the
     paper's §3.3 SPEC92 measurement. *)
 let jump_stats t =
+  Eel_obs.Trace.with_span "exe.jump_stats" @@ fun () ->
   (* force analysis of everything, including queued hidden routines *)
   let rec force () =
     List.iter (fun r -> ignore (control_flow_graph t r)) t.routines;

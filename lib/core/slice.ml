@@ -271,6 +271,7 @@ let loaded_cell ~fetch (g : C.t) (b : C.block) =
     resolution is represented as a single-entry pseudo-table with
     [t_addr = -1] (nothing to rewrite in the image). *)
 let resolve_all ~fetch (g : C.t) =
+  Eel_obs.Trace.with_span "cfg.slice" @@ fun () ->
   let tables = ref [] in
   let unanalyzable = ref 0 in
   List.iter

@@ -4,7 +4,13 @@
     against the ad-hoc qpt (317,494 vs 84,655, §5) and reports that the
     instruction-sharing optimization reduces allocated EEL instructions by a
     factor of four (§3.4). These counters make both measurements
-    reproducible (experiments E5 and E8). *)
+    reproducible (experiments E5 and E8).
+
+    The mutable {!stats} record is the hot-path representation (a plain int
+    store per event); consumers should read through the pure {!snapshot}
+    instead of aliasing the record. Every field is also visible in the
+    {!Eel_obs.Metrics} registry under [eel.stats.*] as a callback gauge, so
+    tools and the benchmark harness see one metrics namespace. *)
 
 type t = {
   mutable instrs_lifted : int;  (** total machine words lifted *)
@@ -33,7 +39,37 @@ let reset () =
   stats.snippets_alloc <- 0;
   stats.cfgs_built <- 0
 
-(** Total EEL objects allocated since the last {!reset}. *)
+(** A pure copy of the counters at the moment of the call. Tools should use
+    this rather than reading the shared mutable {!stats} record, whose
+    fields can move under them as analysis proceeds. *)
+type snapshot = {
+  s_instrs_lifted : int;
+  s_instrs_alloc : int;
+  s_blocks_alloc : int;
+  s_edges_alloc : int;
+  s_snippets_alloc : int;
+  s_cfgs_built : int;
+}
+
+let snapshot () =
+  {
+    s_instrs_lifted = stats.instrs_lifted;
+    s_instrs_alloc = stats.instrs_alloc;
+    s_blocks_alloc = stats.blocks_alloc;
+    s_edges_alloc = stats.edges_alloc;
+    s_snippets_alloc = stats.snippets_alloc;
+    s_cfgs_built = stats.cfgs_built;
+  }
+
+(** Total EEL objects allocated since the last {!reset}.
+
+    Deliberately excludes [instrs_lifted]: that field counts machine words
+    {e examined} by the lifter (work performed), not objects allocated —
+    with instruction sharing on (§3.4), many lifted words resolve to the
+    same shared [instrs_alloc] object. Only the four object counters
+    ([instrs_alloc], [blocks_alloc], [edges_alloc], [snippets_alloc])
+    contribute; [cfgs_built] is likewise a work counter, not an object
+    population. *)
 let total_objects () =
   stats.instrs_alloc + stats.blocks_alloc + stats.edges_alloc
   + stats.snippets_alloc
@@ -43,3 +79,19 @@ let pp fmt () =
     "instrs lifted=%d allocated=%d blocks=%d edges=%d snippets=%d cfgs=%d"
     stats.instrs_lifted stats.instrs_alloc stats.blocks_alloc stats.edges_alloc
     stats.snippets_alloc stats.cfgs_built
+
+(* Absorb the record into the metrics registry: callback gauges read the
+   live counters at snapshot time, so the increment paths stay plain int
+   stores. *)
+let () =
+  let reg name read =
+    Eel_obs.Metrics.gauge_fn ("eel.stats." ^ name) (fun () ->
+        float_of_int (read ()))
+  in
+  reg "instrs_lifted" (fun () -> stats.instrs_lifted);
+  reg "instrs_alloc" (fun () -> stats.instrs_alloc);
+  reg "blocks_alloc" (fun () -> stats.blocks_alloc);
+  reg "edges_alloc" (fun () -> stats.edges_alloc);
+  reg "snippets_alloc" (fun () -> stats.snippets_alloc);
+  reg "cfgs_built" (fun () -> stats.cfgs_built);
+  reg "total_objects" (fun () -> total_objects ())

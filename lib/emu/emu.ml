@@ -35,6 +35,94 @@ type event =
   | Ev_load of { pc : int; addr : int; width : int }
   | Ev_store of { pc : int; addr : int; width : int }
 
+(** {1 Execution profiling}
+
+    The emulator is the ground truth for every editing experiment; a
+    {!profile} captures that ground truth as data a tool's own measurements
+    can be validated against (ISSUE 2): per-basic-block execution counts
+    (qpt2's edge profiles must be consistent with them), the dynamic
+    instruction-class mix, fuel consumed, and memory-operation counts.
+
+    A {e block entry} is an instruction reached non-sequentially — the
+    target of a taken control transfer, or the first instruction executed.
+    Those addresses are exactly the leaders of the dynamic basic blocks. *)
+
+let iclass_names =
+  [| "alu"; "branch"; "call"; "jump"; "load"; "store"; "sethi"; "trap"; "other" |]
+
+let iclass_of = function
+  | Insn.Alu _ -> 0
+  | Insn.Bicc _ -> 1
+  | Insn.Call _ -> 2
+  | Insn.Jmpl _ -> 3
+  | Insn.Mem { op; _ } -> if Insn.mem_is_store op then 5 else 4
+  | Insn.Sethi _ -> 6
+  | Insn.Ticc _ -> 7
+  | Insn.Invalid _ | Insn.Unimp _ | Insn.Rdy _ | Insn.Wry _ -> 8
+
+type profile = {
+  mutable p_insns : int;  (** fuel consumed (dynamic instructions) *)
+  mutable p_block_entries : int;  (** non-sequential arrivals *)
+  p_block_counts : (int, int) Hashtbl.t;  (** block-leader pc -> entries *)
+  p_pc_counts : (int, int) Hashtbl.t;  (** pc -> execution count *)
+  p_class_counts : int array;  (** indexed like {!iclass_names} *)
+  mutable p_last_pc : int;
+}
+
+let create_profile () =
+  {
+    p_insns = 0;
+    p_block_entries = 0;
+    p_block_counts = Hashtbl.create 256;
+    p_pc_counts = Hashtbl.create 1024;
+    p_class_counts = Array.make (Array.length iclass_names) 0;
+    p_last_pc = min_int;
+  }
+
+let bump tbl key =
+  match Hashtbl.find_opt tbl key with
+  | Some n -> Hashtbl.replace tbl key (n + 1)
+  | None -> Hashtbl.add tbl key 1
+
+let profile_step p ~pc insn =
+  p.p_insns <- p.p_insns + 1;
+  bump p.p_pc_counts pc;
+  if pc <> p.p_last_pc + 4 then (
+    p.p_block_entries <- p.p_block_entries + 1;
+    bump p.p_block_counts pc);
+  p.p_last_pc <- pc;
+  let k = iclass_of insn in
+  p.p_class_counts.(k) <- p.p_class_counts.(k) + 1
+
+(** Times the block led by [pc] was entered via a control transfer (or
+    program start); 0 for addresses only ever reached by fall-through. *)
+let block_count p pc = Option.value ~default:0 (Hashtbl.find_opt p.p_block_counts pc)
+
+(** Times the instruction at [pc] was executed. *)
+let pc_count p pc = Option.value ~default:0 (Hashtbl.find_opt p.p_pc_counts pc)
+
+let distinct_blocks p = Hashtbl.length p.p_block_counts
+
+(** Dynamic instruction mix as [(class, count)] in {!iclass_names} order. *)
+let class_mix p =
+  Array.to_list (Array.mapi (fun i n -> (iclass_names.(i), n)) p.p_class_counts)
+
+(** [publish_profile p] surfaces the profile in the {!Eel_obs.Metrics}
+    registry under [<prefix>.*] so traces, tools and the benchmark harness
+    read emulator ground truth from the same namespace as every other
+    metric. *)
+let publish_profile ?(prefix = "emu") p =
+  let g name v =
+    Eel_obs.Metrics.set
+      (Eel_obs.Metrics.gauge (prefix ^ "." ^ name))
+      (float_of_int v)
+  in
+  g "insns" p.p_insns;
+  g "block_entries" p.p_block_entries;
+  g "distinct_blocks" (distinct_blocks p);
+  g "mem_ops" (p.p_class_counts.(4) + p.p_class_counts.(5));
+  Array.iteri (fun i n -> g ("class." ^ iclass_names.(i)) n) p.p_class_counts
+
 type t = {
   mem : Bytes.t;
   regs : int array;  (** 34 entries: 32 GPRs + icc + y *)
@@ -47,6 +135,7 @@ type t = {
   mutable brk : int;
   output : Buffer.t;
   mutable hook : (event -> unit) option;
+  mutable profile : profile option;
   mutable text_lo : int;
   mutable text_hi : int;
 }
@@ -106,6 +195,7 @@ let load ?(headroom = default_headroom) (exe : Eel_sef.Sef.t) =
     brk = high;
     output = Buffer.create 256;
     hook = None;
+    profile = None;
     text_lo;
     text_hi;
   }
@@ -196,10 +286,12 @@ let step t =
   let word = Eel_util.Bytebuf.get32_be t.mem pc in
   emit t (Ev_exec { pc; word });
   t.ninsns <- t.ninsns + 1;
+  let insn = Insn.decode word in
+  (match t.profile with None -> () | Some p -> profile_step p ~pc insn);
   (* default successor state *)
   let next_pc = ref t.npc in
   let next_npc = ref (t.npc + 4) in
-  (match Insn.decode word with
+  (match insn with
   | Insn.Invalid w -> fault "illegal instruction 0x%08x at pc=0x%x" w pc
   | Insn.Unimp i -> fault "unimp 0x%x executed at pc=0x%x" i pc
   | Insn.Sethi { rd; imm22 } -> set_reg t rd (imm22 lsl 10)
@@ -352,8 +444,12 @@ let run ?(fuel = 200_000_000) t =
     out = Buffer.contents t.output;
   }
 
-(** [run_exe ?fuel ?hook exe] loads and runs an executable. *)
-let run_exe ?fuel ?hook exe =
-  let t = load exe in
+(** [run_exe ?fuel ?hook ?profile exe] loads and runs an executable.
+    [profile] collects ground-truth execution statistics (see {!profile});
+    when absent the per-instruction profiling cost is a single match. *)
+let run_exe ?fuel ?hook ?profile exe =
+  let t = Eel_obs.Trace.with_span "emu.load" (fun () -> load exe) in
   t.hook <- hook;
-  (run ?fuel t, t)
+  t.profile <- profile;
+  let r = Eel_obs.Trace.with_span "emu.run" (fun () -> run ?fuel t) in
+  (r, t)

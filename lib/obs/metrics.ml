@@ -1,0 +1,203 @@
+(** A typed metrics registry: named counters, gauges, and fixed-bucket
+    histograms.
+
+    This is the uniform introspection surface the tools and the benchmark
+    harness read instead of ad-hoc mutable records scattered per module.
+    [Eel.Stats] (the paper's object-allocation counters) registers its
+    fields here as callback gauges, so the hot increment paths keep their
+    plain mutable-int cost while every consumer sees one namespace.
+
+    Registration is idempotent by name: [counter "x"] returns the existing
+    counter on the second call, and raises [Invalid_argument] if "x" is
+    already registered as a different metric kind. The registry is global
+    and process-wide, matching the single-threaded pipeline. *)
+
+type histogram = {
+  h_edges : float array;  (** strictly increasing upper bucket edges *)
+  h_counts : int array;  (** length [Array.length h_edges + 1]; last = overflow *)
+  mutable h_sum : float;
+  mutable h_n : int;
+}
+
+type counter = int ref
+
+type gauge = float ref
+
+type metric =
+  | M_counter of counter
+  | M_gauge of gauge
+  | M_gauge_fn of (unit -> float)  (** read-through to external state *)
+  | M_hist of histogram
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+
+let kind_name = function
+  | M_counter _ -> "counter"
+  | M_gauge _ -> "gauge"
+  | M_gauge_fn _ -> "gauge_fn"
+  | M_hist _ -> "histogram"
+
+let register name make match_existing =
+  match Hashtbl.find_opt registry name with
+  | None ->
+      let m, v = make () in
+      Hashtbl.add registry name m;
+      v
+  | Some m -> (
+      match match_existing m with
+      | Some v -> v
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Metrics: %s is already registered as a %s" name
+               (kind_name m)))
+
+let counter name =
+  register name
+    (fun () ->
+      let r = ref 0 in
+      (M_counter r, r))
+    (function M_counter r -> Some r | _ -> None)
+
+let incr ?(by = 1) (c : counter) = c := !c + by
+
+let gauge name =
+  register name
+    (fun () ->
+      let r = ref 0. in
+      (M_gauge r, r))
+    (function M_gauge r -> Some r | _ -> None)
+
+let set (g : gauge) v = g := v
+
+(** [gauge_fn name f] registers (or replaces) a gauge whose value is read
+    from [f] at snapshot time — zero cost on the instrumented path. *)
+let gauge_fn name f =
+  match Hashtbl.find_opt registry name with
+  | None | Some (M_gauge_fn _) -> Hashtbl.replace registry name (M_gauge_fn f)
+  | Some m ->
+      invalid_arg
+        (Printf.sprintf "Metrics: %s is already registered as a %s" name
+           (kind_name m))
+
+let histogram ~edges name =
+  let ok = ref (Array.length edges > 0) in
+  Array.iteri (fun i e -> if i > 0 && e <= edges.(i - 1) then ok := false) edges;
+  if not !ok then
+    invalid_arg "Metrics.histogram: edges must be non-empty and strictly increasing";
+  register name
+    (fun () ->
+      let h =
+        {
+          h_edges = Array.copy edges;
+          h_counts = Array.make (Array.length edges + 1) 0;
+          h_sum = 0.;
+          h_n = 0;
+        }
+      in
+      (M_hist h, h))
+    (function M_hist h -> Some h | _ -> None)
+
+(** [observe h v] adds [v] to the first bucket whose upper edge is >= [v];
+    values above every edge land in the overflow bucket. *)
+let observe (h : histogram) v =
+  let n = Array.length h.h_edges in
+  let rec bucket i = if i >= n || v <= h.h_edges.(i) then i else bucket (i + 1) in
+  let i = bucket 0 in
+  h.h_counts.(i) <- h.h_counts.(i) + 1;
+  h.h_sum <- h.h_sum +. v;
+  h.h_n <- h.h_n + 1
+
+(** {1 Snapshots}
+
+    A snapshot is a pure value: reading it never perturbs the metrics. *)
+
+type value =
+  | Int of int
+  | Float of float
+  | Hist of { edges : float array; counts : int array; sum : float; n : int }
+
+let read = function
+  | M_counter r -> Int !r
+  | M_gauge r -> Float !r
+  | M_gauge_fn f -> Float (f ())
+  | M_hist h ->
+      Hist
+        {
+          edges = Array.copy h.h_edges;
+          counts = Array.copy h.h_counts;
+          sum = h.h_sum;
+          n = h.h_n;
+        }
+
+let snapshot () =
+  Hashtbl.fold (fun name m acc -> (name, read m) :: acc) registry []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let find name = Option.map read (Hashtbl.find_opt registry name)
+
+(** [reset ()] zeroes counters, gauges and histograms; callback gauges keep
+    reading their external state (resetting that state is its owner's job,
+    e.g. [Stats.reset]). Registrations survive. *)
+let reset () =
+  Hashtbl.iter
+    (fun _ m ->
+      match m with
+      | M_counter r -> r := 0
+      | M_gauge r -> r := 0.
+      | M_gauge_fn _ -> ()
+      | M_hist h ->
+          Array.fill h.h_counts 0 (Array.length h.h_counts) 0;
+          h.h_sum <- 0.;
+          h.h_n <- 0)
+    registry
+
+(** [clear ()] drops every registration (test isolation). *)
+let clear () = Hashtbl.reset registry
+
+(** {1 Rendering} *)
+
+let float_json v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.6g" v
+
+let value_to_json = function
+  | Int i -> string_of_int i
+  | Float f -> float_json f
+  | Hist { edges; counts; sum; n } ->
+      let arr f xs =
+        "[" ^ String.concat "," (List.map f (Array.to_list xs)) ^ "]"
+      in
+      Printf.sprintf "{\"edges\":%s,\"counts\":%s,\"sum\":%s,\"n\":%d}"
+        (arr float_json edges)
+        (arr string_of_int counts)
+        (float_json sum) n
+
+(** The whole registry as a JSON object keyed by metric name. *)
+let to_json () =
+  let buf = Buffer.create 1024 in
+  Buffer.add_char buf '{';
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf "\"%s\":%s" (Trace.json_escape name) (value_to_json v)))
+    (snapshot ());
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+let pp_value fmt = function
+  | Int i -> Format.fprintf fmt "%d" i
+  | Float f -> Format.fprintf fmt "%g" f
+  | Hist { edges; counts; sum; n } ->
+      Format.fprintf fmt "n=%d sum=%g" n sum;
+      Array.iteri
+        (fun i c ->
+          if i < Array.length edges then
+            Format.fprintf fmt " le(%g)=%d" edges.(i) c
+          else Format.fprintf fmt " inf=%d" c)
+        counts
+
+let pp fmt () =
+  List.iter
+    (fun (name, v) -> Format.fprintf fmt "%-36s %a@\n" name pp_value v)
+    (snapshot ())

@@ -163,7 +163,9 @@ let create ?(strict = false) () =
 
 (** Emit one diagnostic. In a strict sink, [Warn] is recorded as [Err] —
     the promotion the paper's cautious tools want ("refuse anything the
-    analysis is not sure about"). *)
+    analysis is not sure about"). When an ambient tracer is installed the
+    diagnostic is also attached to the active span as an instant event, so
+    warnings appear on the timeline next to the phase that produced them. *)
 let emit sink sev ~source ?(loc = no_loc) fmt =
   Printf.ksprintf
     (fun msg ->
@@ -172,7 +174,18 @@ let emit sink sev ~source ?(loc = no_loc) fmt =
       | Note -> sink.n_notes <- sink.n_notes + 1
       | Warn -> sink.n_warnings <- sink.n_warnings + 1
       | Err -> sink.n_errors <- sink.n_errors + 1);
-      sink.items <- { d_sev = sev; d_source = source; d_loc = loc; d_msg = msg } :: sink.items)
+      sink.items <- { d_sev = sev; d_source = source; d_loc = loc; d_msg = msg } :: sink.items;
+      match Eel_obs.Trace.get_current () with
+      | None -> ()
+      | Some tr ->
+          Eel_obs.Trace.instant tr
+            ("diag:" ^ severity_name sev)
+            ~args:
+              [
+                ("source", source);
+                ("message", msg);
+                ("loc", Format.asprintf "%a" pp_loc loc);
+              ])
     fmt
 
 (** [report sink_opt sev ~source ?loc fmt] — emit when a sink is present,

@@ -260,13 +260,16 @@ let validate_exn ?diag t =
 
 let load ?(strict = false) ?diag src =
   let sink = match diag with Some s -> s | None -> Diag.create ~strict () in
-  Diag.guard (fun () ->
-      let t = parse ~diag:sink src in
-      validate_exn ~diag:sink t;
-      if Diag.has_errors sink then
-        Diag.sef_error "input rejected: %d error(s) recorded during load"
-          (Diag.errors sink);
-      t)
+  Eel_obs.Trace.with_span "sef.load"
+    ~args:[ ("bytes", string_of_int (String.length src)) ]
+    (fun () ->
+      Diag.guard (fun () ->
+          let t = parse ~diag:sink src in
+          validate_exn ~diag:sink t;
+          if Diag.has_errors sink then
+            Diag.sef_error "input rejected: %d error(s) recorded during load"
+              (Diag.errors sink);
+          t))
 
 let of_string src =
   match load src with Ok t -> t | Error e -> raise (Diag.Error e)

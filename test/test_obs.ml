@@ -1,0 +1,324 @@
+(* Tests for the observability layer (ISSUE 2): span nesting and balance
+   (including unclosed-span detection), metrics registry semantics and
+   histogram bucket edges, Chrome trace_event JSON well-formedness
+   (validated by actually parsing it), diagnostics appearing as instant
+   events on the active trace, emulator ground-truth profiling on a
+   hand-assembled loop, and the eel_objdump --trace flag end to end. *)
+
+module Trace = Eel_obs.Trace
+module Metrics = Eel_obs.Metrics
+module Json = Eel_obs.Json
+module Sef = Eel_sef.Sef
+module Emu = Eel_emu.Emu
+module Diag = Eel_robust.Diag
+
+let assemble src =
+  match Eel_sparc.Asm.assemble src with
+  | Ok e -> e
+  | Error m -> Alcotest.failf "assembly failed: %s" m
+
+(* ------------------------------------------------------------------ *)
+(* Tracer                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_span_nesting () =
+  let tr = Trace.create () in
+  Trace.span tr "outer" (fun () ->
+      Trace.span tr "inner-a" (fun () -> ignore (Sys.opaque_identity 1));
+      Trace.span tr "inner-b" (fun () -> ignore (Sys.opaque_identity 2)));
+  Alcotest.(check int) "span count" 3 (Trace.num_spans tr);
+  Alcotest.(check (list string)) "balanced" [] (Trace.unclosed tr);
+  let totals = Trace.totals tr in
+  let names = List.map (fun (n, _, _) -> n) totals in
+  Alcotest.(check (list string))
+    "totals names" [ "inner-a"; "inner-b"; "outer" ] names;
+  List.iter
+    (fun (n, total_us, count) ->
+      Alcotest.(check int) (n ^ " count") 1 count;
+      if total_us < 0. then Alcotest.failf "%s has negative duration" n)
+    totals
+
+let test_span_result_and_exn () =
+  let tr = Trace.create () in
+  let v = Trace.span tr "compute" (fun () -> 41 + 1) in
+  Alcotest.(check int) "value through span" 42 v;
+  (* a raising thunk must still close its span *)
+  (try Trace.span tr "raiser" (fun () -> failwith "boom") with Failure _ -> ());
+  Alcotest.(check (list string)) "exception closed span" [] (Trace.unclosed tr)
+
+let test_unclosed_detection () =
+  let tr = Trace.create () in
+  Trace.enter tr "left-open";
+  Trace.enter tr "also-open";
+  Trace.exit tr;
+  Alcotest.(check (list string)) "unclosed" [ "left-open" ] (Trace.unclosed tr);
+  (* sealing must have closed it with a real duration, so export works *)
+  match Json.parse (Trace.to_chrome_json tr) with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "sealed trace does not export: %s" m
+
+let test_unmatched_exit () =
+  let tr = Trace.create () in
+  Trace.exit tr;
+  Alcotest.(check (list string))
+    "unmatched exit recorded" [ "<exit without enter>" ] (Trace.unclosed tr)
+
+let test_ambient () =
+  (* no ambient tracer: with_span is the identity, mark is a no-op *)
+  Trace.set_current None;
+  Alcotest.(check int) "no tracer" 7 (Trace.with_span "x" (fun () -> 7));
+  Trace.mark "dropped";
+  let tr = Trace.create () in
+  let v =
+    Trace.with_current tr (fun () ->
+        Trace.with_span "ambient" (fun () ->
+            Trace.mark "ping";
+            3))
+  in
+  Alcotest.(check int) "ambient result" 3 v;
+  Alcotest.(check int) "ambient recorded" 1 (Trace.num_spans tr);
+  (* with_current restored the previous (absent) tracer *)
+  Alcotest.(check bool) "restored" true (Trace.get_current () = None)
+
+(* ------------------------------------------------------------------ *)
+(* Chrome JSON                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let events_of tr =
+  match Json.parse (Trace.to_chrome_json tr) with
+  | Error m -> Alcotest.failf "trace is not valid JSON: %s" m
+  | Ok root -> (
+      match Json.member "traceEvents" root with
+      | Some (Json.Arr evs) -> evs
+      | _ -> Alcotest.fail "no traceEvents array")
+
+let test_chrome_json () =
+  let tr = Trace.create () in
+  Trace.span tr "phase \"quoted\"\n" ~args:[ ("k", "v\\w") ] (fun () ->
+      Trace.instant tr "tick" ~args:[ ("n", "1") ]);
+  let evs = events_of tr in
+  Alcotest.(check int) "event count" 2 (List.length evs);
+  let phases =
+    List.map
+      (fun ev ->
+        match Json.member "ph" ev with
+        | Some (Json.Str s) -> s
+        | _ -> Alcotest.fail "event without ph")
+      evs
+  in
+  Alcotest.(check (list string)) "phases" [ "X"; "i" ] phases;
+  List.iter
+    (fun ev ->
+      (match Json.member "ts" ev with
+      | Some (Json.Num ts) when ts >= 0. -> ()
+      | _ -> Alcotest.fail "bad ts");
+      match (Json.member "ph" ev, Json.member "dur" ev) with
+      | Some (Json.Str "X"), Some (Json.Num d) when d >= 0. -> ()
+      | Some (Json.Str "X"), _ -> Alcotest.fail "X event without dur"
+      | _ -> ())
+    evs;
+  (* the escaped name round-trips through the parser *)
+  match Json.member "name" (List.hd evs) with
+  | Some (Json.Str s) -> Alcotest.(check string) "escaping" "phase \"quoted\"\n" s
+  | _ -> Alcotest.fail "no name"
+
+let test_diag_instants () =
+  let tr = Trace.create () in
+  Trace.with_current tr (fun () ->
+      Trace.with_span "validate" (fun () ->
+          let sink = Diag.create () in
+          Diag.emit sink Diag.Warn ~source:"test" ~loc:(Diag.at_addr 0x40)
+            "suspicious %s" "thing"));
+  let warn =
+    List.filter
+      (fun ev -> Json.member "name" ev = Some (Json.Str "diag:warning"))
+      (events_of tr)
+  in
+  Alcotest.(check int) "one diag instant" 1 (List.length warn);
+  match Json.member "args" (List.hd warn) with
+  | Some (Json.Obj args) ->
+      Alcotest.(check bool)
+        "message attached" true
+        (List.assoc_opt "message" args = Some (Json.Str "suspicious thing"))
+  | _ -> Alcotest.fail "diag instant without args"
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_counters_gauges () =
+  Metrics.clear ();
+  let c = Metrics.counter "t.count" in
+  Metrics.incr c;
+  Metrics.incr ~by:4 c;
+  Alcotest.(check bool) "counter" true (Metrics.find "t.count" = Some (Metrics.Int 5));
+  (* registration is idempotent: same ref comes back *)
+  Metrics.incr (Metrics.counter "t.count");
+  Alcotest.(check bool) "idempotent" true (Metrics.find "t.count" = Some (Metrics.Int 6));
+  (* kind mismatch is an error *)
+  (match Metrics.gauge "t.count" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "kind mismatch accepted");
+  Metrics.gauge_fn "t.live" (fun () -> 2.5);
+  Alcotest.(check bool) "gauge_fn" true (Metrics.find "t.live" = Some (Metrics.Float 2.5));
+  Metrics.reset ();
+  Alcotest.(check bool) "reset counter" true (Metrics.find "t.count" = Some (Metrics.Int 0));
+  Alcotest.(check bool) "gauge_fn survives reset" true
+    (Metrics.find "t.live" = Some (Metrics.Float 2.5));
+  Metrics.clear ()
+
+let test_histogram_edges () =
+  Metrics.clear ();
+  let h = Metrics.histogram ~edges:[| 1.; 2.; 5. |] "t.hist" in
+  List.iter (Metrics.observe h) [ 0.5; 1.0; 1.5; 2.0; 2.1; 5.0; 7.0 ];
+  (match Metrics.find "t.hist" with
+  | Some (Metrics.Hist { counts; n; sum; _ }) ->
+      (* bucket semantics: first edge >= v; edge values land inclusively *)
+      Alcotest.(check (array int)) "bucket counts" [| 2; 2; 2; 1 |] counts;
+      Alcotest.(check int) "n" 7 n;
+      Alcotest.(check (float 1e-9)) "sum" 19.1 sum
+  | _ -> Alcotest.fail "histogram not found");
+  (match Metrics.histogram ~edges:[| 2.; 1. |] "t.bad" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unsorted edges accepted");
+  (* the JSON rendering of the whole registry parses *)
+  (match Json.parse (Metrics.to_json ()) with
+  | Ok (Json.Obj kvs) ->
+      Alcotest.(check bool) "hist in json" true (List.mem_assoc "t.hist" kvs)
+  | Ok _ -> Alcotest.fail "metrics json is not an object"
+  | Error m -> Alcotest.failf "metrics json invalid: %s" m);
+  Metrics.clear ()
+
+(* ------------------------------------------------------------------ *)
+(* Emulator ground-truth profiling                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* A hand-assembled counted loop: the body executes exactly 5 times, the
+   loop-head block is re-entered via the taken branch exactly 4 times.
+   (The label must not start with 'L': local labels never reach the
+   symbol table.) *)
+let loop_src =
+  {|
+main:   mov 5, %l0
+top:    subcc %l0, 1, %l0
+        bne top
+        nop
+        mov 0, %o0
+        ta 1
+        nop
+|}
+
+let find_sym exe name =
+  match
+    List.find_opt (fun (s : Sef.symbol) -> s.Sef.sym_name = name) exe.Sef.symbols
+  with
+  | Some s -> s.Sef.value
+  | None -> Alcotest.failf "symbol %s not found" name
+
+let test_emu_block_counts () =
+  let exe = assemble loop_src in
+  let top = find_sym exe "top" in
+  let main = find_sym exe "main" in
+  let p = Emu.create_profile () in
+  let r, _ = Emu.run_exe ~profile:p exe in
+  Alcotest.(check int) "exit" 0 r.Emu.exit_code;
+  (* every executed instruction is profiled *)
+  Alcotest.(check int) "fuel consumed" r.Emu.insns p.Emu.p_insns;
+  (* loop head executed once per iteration *)
+  Alcotest.(check int) "top executions" 5 (Emu.pc_count p top);
+  (* ... but entered as a block only via the 4 taken back edges *)
+  Alcotest.(check int) "top block entries" 4 (Emu.block_count p top);
+  (* program start is a block entry *)
+  Alcotest.(check int) "entry block" 1 (Emu.block_count p main);
+  (* dynamic class mix: bne x5 = branch; mov + subcc x5 + mov = alu;
+     the delay-slot nop (sethi 0, %g0) x5 = sethi; ta 1 = trap *)
+  let mix = Emu.class_mix p in
+  Alcotest.(check int) "branch mix" 5 (List.assoc "branch" mix);
+  Alcotest.(check int) "trap mix" 1 (List.assoc "trap" mix);
+  Alcotest.(check int) "alu mix" 7 (List.assoc "alu" mix);
+  Alcotest.(check int) "sethi mix" 5 (List.assoc "sethi" mix);
+  (* publishing surfaces the same numbers in the registry *)
+  Metrics.clear ();
+  Emu.publish_profile p;
+  Alcotest.(check bool) "emu.insns metric" true
+    (Metrics.find "emu.insns" = Some (Metrics.Float (float_of_int r.Emu.insns)));
+  Metrics.clear ()
+
+(* ------------------------------------------------------------------ *)
+(* eel_objdump --trace, end to end                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_objdump_trace () =
+  let exe =
+    Eel_workload.Gen.assemble_program
+      { Eel_workload.Gen.default with seed = 5; routines = 6 }
+  in
+  let dir = Filename.temp_file "eel_obs" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let sef = Filename.concat dir "w.sef" in
+  let trace = Filename.concat dir "t.json" in
+  Sef.write_file sef exe;
+  (* locate the tool next to this test binary so the test is cwd-agnostic
+     (dune runtest runs in _build/default/test, dune exec in the root) *)
+  let objdump =
+    Filename.concat
+      (Filename.dirname Sys.executable_name)
+      "../bin/eel_objdump.exe"
+  in
+  let cmd =
+    Printf.sprintf "%s --trace %s %s > /dev/null" (Filename.quote objdump)
+      (Filename.quote trace) (Filename.quote sef)
+  in
+  Alcotest.(check int) "objdump exit" 0 (Sys.command cmd);
+  let ic = open_in_bin trace in
+  let src = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  (match Json.parse src with
+  | Error m -> Alcotest.failf "--trace output is not JSON: %s" m
+  | Ok root -> (
+      match Json.member "traceEvents" root with
+      | Some (Json.Arr evs) ->
+          let has name =
+            List.exists (fun ev -> Json.member "name" ev = Some (Json.Str name)) evs
+          in
+          Alcotest.(check bool) "load span" true (has "load");
+          Alcotest.(check bool) "cfg spans" true (has "cfg.build");
+          Alcotest.(check bool) "analyze span" true (has "analyze")
+      | _ -> Alcotest.fail "no traceEvents"));
+  Sys.remove trace;
+  Sys.remove sef;
+  Unix.rmdir dir
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "trace",
+        [
+          Alcotest.test_case "span nesting and totals" `Quick test_span_nesting;
+          Alcotest.test_case "result and exception paths" `Quick test_span_result_and_exn;
+          Alcotest.test_case "unclosed-span detection" `Quick test_unclosed_detection;
+          Alcotest.test_case "unmatched exit" `Quick test_unmatched_exit;
+          Alcotest.test_case "ambient tracer" `Quick test_ambient;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "chrome JSON well-formed" `Quick test_chrome_json;
+          Alcotest.test_case "diagnostics as instants" `Quick test_diag_instants;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counters and gauges" `Quick test_counters_gauges;
+          Alcotest.test_case "histogram bucket edges" `Quick test_histogram_edges;
+        ] );
+      ( "emu-profile",
+        [
+          Alcotest.test_case "loop block counts" `Quick test_emu_block_counts;
+        ] );
+      ( "tools",
+        [
+          Alcotest.test_case "eel_objdump --trace" `Quick test_objdump_trace;
+        ] );
+    ]
