@@ -2,7 +2,7 @@
 # build everything, run the test suites, the never-crash fuzz corpus, and
 # the observability trace smoke test.
 
-.PHONY: all build test fuzz trace-smoke check clean
+.PHONY: all build test fuzz diff-smoke trace-smoke check clean
 
 all: build
 
@@ -15,6 +15,11 @@ test:
 fuzz:
 	dune build @fuzz
 
+# Differential verification gate: the identity-edit round-trip oracle over
+# the example corpus (original vs no-op-edited image, lockstep emulation).
+diff-smoke:
+	dune build @diff
+
 # End-to-end observability gate: generate a synthetic workload, run it under
 # the emulator with tracing + metrics on, then structurally validate the
 # emitted Chrome trace JSON with the bundled checker.
@@ -25,7 +30,7 @@ trace-smoke:
 	./_build/default/bin/trace_check.exe _build/smoke-trace.json
 
 check:
-	dune build && dune runtest && dune build @fuzz && $(MAKE) trace-smoke
+	dune build && dune runtest && dune build @fuzz && dune build @diff && $(MAKE) trace-smoke
 
 clean:
 	dune clean

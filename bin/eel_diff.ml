@@ -1,0 +1,93 @@
+(* Differential verification driver: run the identity-edit round-trip
+   oracle over the example corpus (or over SEF images given on the command
+   line) and report each verdict. The oracle pushes every program through
+   load -> CFG -> no-op edit -> finalize -> emit, then runs the original
+   and edited images in lockstep under a shared fuel budget and requires
+   event-equivalence. Front-end refusals surface as structured Diag errors
+   (the driver degrades, it never crashes); any divergence or refusal makes
+   the exit status 1.
+
+   --metrics dumps the eel.diff.* registry slice at the end; --trace FILE
+   writes the whole run as a Chrome trace timeline. *)
+
+module Sef = Eel_sef.Sef
+module Diag = Eel_robust.Diag
+module Diffexec = Eel_diffexec.Diffexec
+module Corpus = Eel_diffexec.Corpus
+module Trace = Eel_obs.Trace
+module Metrics = Eel_obs.Metrics
+
+let () =
+  Printexc.record_backtrace true;
+  let fuel = ref Diffexec.default_fuel in
+  let verbose = ref false and show_metrics = ref false in
+  let trace_file = ref "" in
+  let files = ref [] in
+  Arg.parse
+    [
+      ( "--fuel",
+        Arg.Set_int fuel,
+        Printf.sprintf "FUEL shared per-side instruction budget (default %d)"
+          Diffexec.default_fuel );
+      ("--verbose", Arg.Set verbose, "print event/instruction counts per program");
+      ("--metrics", Arg.Set show_metrics, "dump the eel.diff.* metrics at the end");
+      ("--trace", Arg.Set_string trace_file, "FILE to write a Chrome trace timeline to");
+    ]
+    (fun f -> files := f :: !files)
+    "eel_diff [FILE.sef ...]: identity-edit round-trip oracle (default: built-in corpus)";
+  let tracer = if !trace_file <> "" then Some (Trace.create ()) else None in
+  Trace.set_current tracer;
+  let programs =
+    match List.rev !files with
+    | [] -> List.map (fun (n, e) -> (n, Ok e)) (Corpus.all ())
+    | fs ->
+        List.map
+          (fun f ->
+            (Filename.basename f, Sef.load_file f))
+          fs
+  in
+  let equivalent = ref 0
+  and truncated = ref 0
+  and diverged = ref 0
+  and errors = ref 0 in
+  List.iter
+    (fun (name, img) ->
+      match img with
+      | Error e ->
+          incr errors;
+          Printf.printf "%-14s ERROR  %s\n" name (Diag.error_message e)
+      | Ok exe -> (
+          match
+            Diffexec.identity_roundtrip ~fuel:!fuel ~mach:Eel_sparc.Mach.mach
+              exe
+          with
+          | Error e ->
+              incr errors;
+              Printf.printf "%-14s ERROR  %s\n" name (Diag.error_message e)
+          | Ok rp ->
+              (match rp.Diffexec.rp_verdict with
+              | Diffexec.Equivalent -> incr equivalent
+              | Diffexec.Fuel_truncated_equal -> incr truncated
+              | Diffexec.Both_fault | Diffexec.Diverged _ -> incr diverged);
+              if !verbose || Diffexec.is_divergence rp.Diffexec.rp_verdict then
+                Format.printf "%-14s %a@." name Diffexec.pp_report rp
+              else
+                Printf.printf "%-14s %s\n" name
+                  (Diffexec.verdict_name rp.Diffexec.rp_verdict)))
+    programs;
+  Printf.printf
+    "eel_diff: %d programs: %d equivalent, %d fuel-truncated, %d diverged, %d errors\n"
+    (List.length programs) !equivalent !truncated !diverged !errors;
+  if !show_metrics then
+    List.iter
+      (fun (name, v) ->
+        if String.length name >= 8 && String.sub name 0 8 = "eel.diff" then
+          match v with
+          | Metrics.Int n -> Printf.printf "  %-32s %d\n" name n
+          | Metrics.Float f -> Printf.printf "  %-32s %g\n" name f
+          | Metrics.Hist _ -> ())
+      (Metrics.snapshot ());
+  (match tracer with
+  | Some tr -> Trace.write_chrome_json tr !trace_file
+  | None -> ());
+  if !diverged > 0 || !errors > 0 then exit 1

@@ -18,6 +18,8 @@
 module Sef = Eel_sef.Sef
 module Diag = Eel_robust.Diag
 module Mutate = Eel_mutate.Mutate
+module Sched = Eel_mutate.Sched
+module Diffexec = Eel_diffexec.Diffexec
 module E = Eel.Executable
 module Trace = Eel_obs.Trace
 module Metrics = Eel_obs.Metrics
@@ -61,11 +63,69 @@ let outcome_slots = [ "survived"; "degraded"; "rejected" ]
 let class_counter kind slot =
   Metrics.counter (Printf.sprintf "fuzz.%s.%s" kind slot)
 
+(* ---- differential mode (--diff) ----------------------------------
+
+   Each mutant's coverage signature is what it exercised end to end: the
+   structured rejection kind when the front end refused it, or — when the
+   identity round-trip ran — whether the mutant's no-op-edited image is
+   event-equivalent to the mutant itself, and how it diverged if not.
+   The blind pass replays Mutate.corpus's class cycle; the guided pass
+   closes the loop through Sched, biasing the mutation budget toward the
+   classes still discovering new signatures. *)
+
+let diff_signature ~fuel bytes =
+  let diag = Diag.create () in
+  match Sef.load ~diag bytes with
+  | Error e -> "rejected:" ^ Diag.error_kind e
+  | Ok exe -> (
+      let budget = Diag.budget ~stage:"fuzz-diff" (8 * 1024 * 1024) in
+      match
+        Diffexec.identity_roundtrip ~fuel ~diag ~budget
+          ~mach:Eel_sparc.Mach.mach exe
+      with
+      | Error e -> "rejected:" ^ Diag.error_kind e
+      | Ok rp ->
+          (if Diag.count diag = 0 then "ok:" else "degraded:")
+          ^ Diffexec.coverage_signature rp)
+
+let diff_slots =
+  [
+    "survived"; "degraded"; "rejected"; "equivalent"; "fuel-eq"; "diverged";
+    "both-fault";
+  ]
+
+(* signature -> the outcome-table slots it lands in *)
+let diff_slots_of signature =
+  let has_prefix p =
+    String.length signature >= String.length p
+    && String.sub signature 0 (String.length p) = p
+  in
+  let front =
+    if has_prefix "ok:" then [ "survived" ]
+    else if has_prefix "degraded:" then [ "degraded" ]
+    else if has_prefix "rejected:" then [ "rejected" ]
+    else []
+  in
+  let verdict =
+    match String.index_opt signature ':' with
+    | None -> []
+    | Some i -> (
+        let v = String.sub signature (i + 1) (String.length signature - i - 1) in
+        let vp p = String.length v >= String.length p && String.sub v 0 (String.length p) = p in
+        if v = "equivalent" then [ "equivalent" ]
+        else if v = "fuel-truncated-equal" then [ "fuel-eq" ]
+        else if vp "both-fault" then [ "both-fault" ]
+        else if vp "diverged" then [ "diverged" ]
+        else [])
+  in
+  front @ verdict
+
 let () =
   Printexc.record_backtrace true;
   let count = ref 200 and seed = ref 42 and routines = ref 12 in
   let verbose = ref false in
   let trace_file = ref "" in
+  let diff = ref false and fuel = ref 300_000 in
   Arg.parse
     [
       ("--count", Arg.Set_int count, "NUMBER of mutants (default 200)");
@@ -73,6 +133,12 @@ let () =
       ("--routines", Arg.Set_int routines, "ROUTINES in the base workload (default 12)");
       ("--verbose", Arg.Set verbose, "print one line per mutant");
       ("--trace", Arg.Set_string trace_file, "FILE to write a Chrome trace timeline to");
+      ( "--diff",
+        Arg.Set diff,
+        "run the differential oracle per mutant; compare blind vs coverage-guided scheduling" );
+      ( "--fuel",
+        Arg.Set_int fuel,
+        "FUEL per-side instruction budget in --diff mode (default 300000)" );
     ]
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
     "eel_fuzz: assert the front end never crashes on mutated executables";
@@ -82,6 +148,76 @@ let () =
     Eel_workload.Gen.assemble_program
       { Eel_workload.Gen.default with seed = !seed; routines = !routines }
   in
+  if !diff then (
+    let crashed = ref 0 in
+    let signature i kind bytes =
+      ignore i;
+      ignore kind;
+      try diff_signature ~fuel:!fuel bytes with
+      | Stack_overflow ->
+          incr crashed;
+          "crash"
+      | exn ->
+          incr crashed;
+          Printf.printf "%4d %-22s CRASH: %s\n%s\n" i (Mutate.name kind)
+            (Printexc.to_string exn)
+            (Printexc.get_backtrace ());
+          "crash"
+    in
+    (* pass 1: the blind schedule — Mutate.corpus's class cycle, signatures
+       collected but no scheduling feedback *)
+    let blind_sigs = Hashtbl.create 64 in
+    List.iter
+      (fun (i, kind, bytes) ->
+        Hashtbl.replace blind_sigs (signature i kind bytes) ())
+      (Mutate.corpus ~seed:!seed ~count:!count base);
+    (* pass 2: coverage-guided — same seed, same budget, class picked per
+       round by discovery rate *)
+    let sched = Sched.create () in
+    ignore
+      (Sched.guided sched ~seed:!seed ~count:!count base
+         ~run:(fun i kind bytes ->
+           let s = signature i kind bytes in
+           let kname = Mutate.name kind in
+           List.iter
+             (fun slot -> Metrics.incr (class_counter kname slot))
+             (diff_slots_of s);
+           if !verbose then Printf.printf "%4d %-22s %s\n" i kname s;
+           s));
+    let nb = Hashtbl.length blind_sigs and ng = Sched.distinct sched in
+    Metrics.set (Metrics.gauge "eel.diff.cover.blind") (float_of_int nb);
+    Metrics.set (Metrics.gauge "eel.diff.cover.guided") (float_of_int ng);
+    Printf.printf
+      "eel_fuzz --diff: %d mutants (seed %d), per-side fuel %d\n" !count !seed
+      !fuel;
+    Printf.printf "%-22s %9s %9s %9s %10s %9s %9s %10s %9s\n" "mutation class"
+      "survived" "degraded" "rejected" "equivalent" "fuel-eq" "diverged"
+      "both-fault" "attempts";
+    List.iter
+      (fun kind ->
+        let kname = Mutate.name kind in
+        let read slot =
+          match Metrics.find (Printf.sprintf "fuzz.%s.%s" kname slot) with
+          | Some (Metrics.Int n) -> n
+          | _ -> 0
+        in
+        match List.map read diff_slots with
+        | [ s; d; r; eq; fe; dv; bf ] ->
+            Printf.printf "%-22s %9d %9d %9d %10d %9d %9d %10d %9d\n" kname s
+              d r eq fe dv bf
+              (Sched.attempts_of sched kind)
+        | _ -> assert false)
+      Mutate.all;
+    Printf.printf
+      "coverage (distinct signatures): blind %d, guided %d%s\n" nb ng
+      (if ng > nb then " — guided found more" else "");
+    if !verbose then
+      List.iter (fun s -> Printf.printf "  guided signature: %s\n" s)
+        (Sched.signatures sched);
+    (match tracer with
+    | Some tr -> Trace.write_chrome_json tr !trace_file
+    | None -> ());
+    exit (if !crashed > 0 then 1 else 0));
   let corpus = Mutate.corpus ~seed:!seed ~count:!count base in
   let ok = ref 0 and rejected = ref 0 and crashed = ref 0 in
   List.iter

@@ -735,3 +735,18 @@ let verify (ed : edited) : string list =
         bad "origin 0x%x maps outside the routine: word %d of %d" orig idx n)
     ed.ed_origin;
   List.rev !problems
+
+(** [verify_exn ?name ed] — {!verify}, with violations surfaced as the
+    structured {!Diag.Invariant_error} every oracle and driver already
+    matches on, instead of an ad-hoc exception. This is the form the
+    differential-execution oracle invokes automatically on every routine it
+    lays out, so invariant violations degrade into [Result.Error] values
+    (via {!Diag.guard}) rather than crashing a verification run. *)
+let verify_exn ?(name = "<routine>") (ed : edited) =
+  match verify ed with
+  | [] -> ()
+  | p :: rest ->
+      Diag.invariant_error "routine %s: %s%s" name p
+        (match rest with
+        | [] -> ""
+        | _ -> Printf.sprintf " (and %d more)" (List.length rest))

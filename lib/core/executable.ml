@@ -559,10 +559,7 @@ let finalize t =
          emit a silently-corrupt image. ---- *)
       List.iter
         (fun ((r : routine), (ed : Edit.edited), base) ->
-          (match Edit.verify ed with
-          | [] -> ()
-          | p :: _ ->
-              Diag.invariant_error "routine %s: %s" r.r_name p);
+          Edit.verify_exn ~name:r.r_name ed;
           (* the translation map must be total and consistent over the
              routine's edited entry points *)
           List.iter
@@ -588,6 +585,38 @@ let edited_addr t a =
   match t.addr_map with
   | Some map -> Hashtbl.find_opt map a
   | None -> assert false
+
+(** [edited_address_map t] — the complete original→edited instruction
+    address map (finalizing the layout if needed). The differential oracle
+    inverts this to normalize code-pointer values (e.g. a spilled return
+    address) observed in an edited run back to original addresses before
+    comparing against the original run. Treat the table as read-only. *)
+let edited_address_map t =
+  finalize t;
+  match t.addr_map with Some map -> map | None -> assert false
+
+(** [block_of_addr t a] — the CFG block id and routine name containing the
+    original instruction address [a], if analysis placed it in one. Used by
+    divergence reports to anchor a PC in CFG terms. *)
+let block_of_addr t a =
+  match find_routine t a with
+  | None -> None
+  | Some r -> (
+      match r.r_cfg with
+      | None -> None
+      | Some g ->
+          List.find_map
+            (fun (b : C.block) ->
+              if
+                b.C.kind = C.Normal
+                && Array.exists (fun (ia, _) -> ia = a) b.C.instrs
+              then Some (r.r_name, b.C.bid)
+              else
+                match C.term_instr b with
+                | Some (ta, _) when ta = a && b.C.kind = C.Normal ->
+                    Some (r.r_name, b.C.bid)
+                | _ -> None)
+            (C.blocks g))
 
 (** {1 Building the edited image} *)
 

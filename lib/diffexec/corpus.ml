@@ -1,0 +1,189 @@
+(** The differential-oracle corpus: every example executable the identity
+    round-trip oracle must prove event-equivalent.
+
+    Hand-written programs cover each observable-event source and each
+    control idiom the editor must preserve — delayed/annulled branches,
+    jump-table dispatch, recursion that spills return addresses (the code
+    pointers the oracle's address-map normalization exists for), every
+    memory-access width — and the {!Eel_workload.Gen} programs reproduce
+    the compiler-shaped workloads the rest of the evaluation runs on.
+
+    Corpus programs never use [ta 7] (cycle counter): the edited image
+    legitimately executes extra translation instructions, so cycle counts
+    are the one observable that {e should} differ between equivalent
+    images. *)
+
+module Gen = Eel_workload.Gen
+
+let exit0 = "        mov 0, %o0\n        ta 1\n        nop\n"
+
+(* arithmetic + condition-code loop: traps carry computed values *)
+let countdown =
+  {|
+main:   mov 5, %l0
+Lloop:  mov %l0, %o0
+        ta 2
+        subcc %l0, 1, %l0
+        bne Lloop
+        nop
+|}
+  ^ exit0
+
+(* delayed and annulled control transfer, taken and untaken *)
+let delay_slots =
+  {|
+main:   mov 1, %l0
+        ba Lnext
+        add %l0, 10, %l0
+Lnext:  cmp %l0, 11
+        be,a Ltaken
+        add %l0, 100, %l0
+        add %l0, 1000, %l0
+Ltaken: mov %l0, %o0
+        ta 2
+        cmp %l0, 0
+        be,a Ldead
+        add %l0, 7, %l0
+        mov %l0, %o0
+        ta 2
+Ldead:
+|}
+  ^ exit0
+
+(* every store width, so the Ob_store payloads span widths 1/2/4/8 *)
+let mem_widths =
+  {|
+main:   set buf, %l0
+        mov 258, %l1
+        st %l1, [%l0]
+        ld [%l0], %o0
+        ta 2
+        sth %l1, [%l0 + 8]
+        lduh [%l0 + 8], %o0
+        ta 2
+        stb %l1, [%l0 + 12]
+        ldub [%l0 + 12], %o0
+        ta 2
+        mov 7, %l2
+        mov 9, %l3
+        std %l2, [%l0 + 16]
+        ldd [%l0 + 16], %o2
+        add %o2, %o3, %o0
+        ta 2
+|}
+  ^ exit0
+  ^ {|
+        .bss
+        .align 8
+buf:    .space 32
+|}
+
+(* register-indirect dispatch through a .data address table: the editor
+   must translate the table's code pointers *)
+let jump_table =
+  {|
+main:   mov 0, %l7
+        mov 0, %l3
+Lcase:  set table, %l0
+        sll %l3, 2, %l1
+        ld [%l0 + %l1], %l2
+        jmp %l2
+        nop
+c0:     add %l7, 100, %l7
+        ba Lnext
+        nop
+c1:     add %l7, 200, %l7
+        ba Lnext
+        nop
+c2:     add %l7, 400, %l7
+Lnext:  add %l3, 1, %l3
+        cmp %l3, 3
+        bl Lcase
+        nop
+        mov %l7, %o0
+        ta 2
+|}
+  ^ exit0
+  ^ {|
+        .data
+        .align 4
+table:  .word c0, c1, c2
+|}
+
+(* recursion with explicit %o7 spills: stored return addresses are code
+   pointers — the values the oracle's inverse address map normalizes *)
+let fib =
+  {|
+main:   mov 10, %o0
+        call fib
+        nop
+        ta 2
+|}
+  ^ exit0
+  ^ {|
+fib:    cmp %o0, 2
+        bl Lbase
+        nop
+        sub %sp, 16, %sp
+        st %o7, [%sp]
+        st %o0, [%sp + 4]
+        call fib
+        sub %o0, 1, %o0
+        st %o0, [%sp + 8]
+        ld [%sp + 4], %o0
+        call fib
+        sub %o0, 2, %o0
+        ld [%sp + 8], %o1
+        add %o0, %o1, %o0
+        ld [%sp], %o7
+        add %sp, 16, %sp
+        retl
+        nop
+Lbase:  retl
+        mov 1, %o0
+|}
+
+(* the write syscall: trap argument is a pointer into .data *)
+let hello =
+  {|
+main:   set msg, %o0
+        mov 6, %o1
+        ta 4
+        mov 42, %o0
+        ta 2
+|}
+  ^ exit0
+  ^ {|
+        .data
+msg:    .ascii "hello\n"
+|}
+
+let sources : (string * string) list =
+  [
+    ("countdown", countdown);
+    ("delay-slots", delay_slots);
+    ("mem-widths", mem_widths);
+    ("jump-table", jump_table);
+    ("fib", fib);
+    ("hello", hello);
+    ("gcc-small", Gen.program { Gen.default with seed = 42; routines = 12 });
+    ("gcc-tiny", Gen.program { Gen.default with seed = 7; routines = 8 });
+    ( "sunpro-small",
+      Gen.program
+        { Gen.default with seed = 42; routines = 10; style = Gen.Sunpro } );
+    ( "sunpro-tiny",
+      Gen.program
+        { Gen.default with seed = 3; routines = 6; style = Gen.Sunpro } );
+    ("memory-bound", Gen.memory_bound ~iters:4 ~size_words:64 ());
+  ]
+
+(** Every corpus program, assembled. The corpus is part of the test
+    contract: a program that stops assembling is a build break, not a
+    skipped case. *)
+let all () =
+  List.map
+    (fun (name, src) ->
+      match Eel_sparc.Asm.assemble src with
+      | Ok exe -> (name, exe)
+      | Error m -> failwith (Printf.sprintf "corpus %s: %s" name m))
+    sources

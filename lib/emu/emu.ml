@@ -35,6 +35,79 @@ type event =
   | Ev_load of { pc : int; addr : int; width : int }
   | Ev_store of { pc : int; addr : int; width : int }
 
+(** {1 Observable events}
+
+    The differential oracle (lib/diffexec) compares two executions by their
+    {e observable} behaviour, not their instruction streams: system calls
+    with their arguments, stores with address and value, and how the run
+    ended. Every way a run can end — [ta 1] exit, a machine {!Fault}, fuel
+    exhaustion — flows through the same constructor set, so an event log
+    always terminates in exactly one of {!Ob_exit}, {!Ob_fault} or
+    {!Ob_fuel} and a comparator never has to reconcile events against
+    out-of-band exceptions.
+
+    The [pc] carried by each event is the address the {e emitting} image
+    executed at; original and edited images run the same program at
+    different addresses, so comparators must treat [pc] as reporting
+    metadata, not as part of the observable payload. *)
+
+type obs_event =
+  | Ob_trap of { pc : int; num : int; arg : int }
+      (** a [ta n] system call; [arg] is %o0 at trap time *)
+  | Ob_store of { pc : int; addr : int; width : int; value : int }
+      (** for [std], [value] is the even register of the pair *)
+  | Ob_exit of { pc : int; code : int }  (** [ta 1] *)
+  | Ob_fault of { pc : int; what : string }  (** machine fault (see {!Fault}) *)
+  | Ob_fuel of { pc : int }  (** the fuel budget ran out at [pc] *)
+
+let obs_pc = function
+  | Ob_trap { pc; _ }
+  | Ob_store { pc; _ }
+  | Ob_exit { pc; _ }
+  | Ob_fault { pc; _ }
+  | Ob_fuel { pc } ->
+      pc
+
+let pp_obs fmt = function
+  | Ob_trap { pc; num; arg } ->
+      Format.fprintf fmt "trap %d (arg=0x%x) at 0x%x" num arg pc
+  | Ob_store { pc; addr; width; value } ->
+      Format.fprintf fmt "store%d [0x%x]=0x%x at 0x%x" width addr value pc
+  | Ob_exit { pc; code } -> Format.fprintf fmt "exit %d at 0x%x" code pc
+  | Ob_fault { pc; what } -> Format.fprintf fmt "fault at 0x%x: %s" pc what
+  | Ob_fuel { pc } -> Format.fprintf fmt "out of fuel at 0x%x" pc
+
+(** A bounded observable-event log. The first [limit] events are retained
+    verbatim; later ones are counted but dropped, so a hostile or
+    store-heavy program cannot drive the oracle into unbounded allocation.
+    [obs_total > List.length (obs_events l)] tells a comparator the log was
+    truncated (comparisons on a truncated log are prefix comparisons). *)
+type obs_log = {
+  ol_limit : int;
+  ol_events : obs_event Eel_util.Dyn.t;
+  mutable ol_total : int;
+}
+
+let default_obs_limit = 65536
+
+let obs_log ?(limit = default_obs_limit) () =
+  { ol_limit = max 0 limit; ol_events = Eel_util.Dyn.create (); ol_total = 0 }
+
+let obs_record l ev =
+  l.ol_total <- l.ol_total + 1;
+  if Eel_util.Dyn.length l.ol_events < l.ol_limit then
+    Eel_util.Dyn.push l.ol_events ev
+
+(** Retained events, in execution order. *)
+let obs_events l = Eel_util.Dyn.to_list l.ol_events
+
+let obs_events_array l = Eel_util.Dyn.to_array l.ol_events
+
+(** Total events observed, including any dropped past the bound. *)
+let obs_total l = l.ol_total
+
+let obs_truncated l = l.ol_total > Eel_util.Dyn.length l.ol_events
+
 (** {1 Execution profiling}
 
     The emulator is the ground truth for every editing experiment; a
@@ -135,6 +208,7 @@ type t = {
   mutable brk : int;
   output : Buffer.t;
   mutable hook : (event -> unit) option;
+  mutable obs : obs_log option;  (** observable-event sink; [None] = free *)
   mutable profile : profile option;
   mutable text_lo : int;
   mutable text_hi : int;
@@ -195,10 +269,18 @@ let load ?(headroom = default_headroom) (exe : Eel_sef.Sef.t) =
     brk = high;
     output = Buffer.create 256;
     hook = None;
+    obs = None;
     profile = None;
     text_lo;
     text_hi;
   }
+
+(** [set_obs t log] installs (or, with [None], removes) the observable-event
+    sink. With no sink installed the interpreter loop performs a single
+    [match] per potential event and allocates nothing. *)
+let set_obs t log = t.obs <- log
+
+let obs_of t = t.obs
 
 let reg t r = if r = Regs.g0 then 0 else t.regs.(r)
 
@@ -256,6 +338,15 @@ let icc_sub a b r =
 (** {1 System calls} *)
 
 let syscall t num =
+  (* trap and exit flow through the same observable-event constructor set
+     as faults and fuel exhaustion; the match guard keeps the no-sink path
+     allocation-free *)
+  (match t.obs with
+  | None -> ()
+  | Some l ->
+      obs_record l (Ob_trap { pc = t.pc; num; arg = reg t Regs.o0 });
+      if num = 1 then
+        obs_record l (Ob_exit { pc = t.pc; code = reg t Regs.o0 land 0xFF }));
   match num with
   | 1 -> t.exited <- Some (reg t Regs.o0 land 0xFF)
   | 2 ->
@@ -276,15 +367,15 @@ let syscall t num =
 
 (** {1 Execution} *)
 
-let emit t ev = match t.hook with Some f -> f ev | None -> ()
-
 (** Execute a single instruction (at [t.pc]). *)
 let step t =
   let pc = t.pc in
   if pc land 3 <> 0 then fault "misaligned pc 0x%x" pc;
   if pc < 0 || pc + 4 > Bytes.length t.mem then fault "pc out of range 0x%x" pc;
   let word = Eel_util.Bytebuf.get32_be t.mem pc in
-  emit t (Ev_exec { pc; word });
+  (* construct the event only when a hook is installed: the event record
+     must not be allocated on the plain interpretation path *)
+  (match t.hook with None -> () | Some f -> f (Ev_exec { pc; word }));
   t.ninsns <- t.ninsns + 1;
   let insn = Insn.decode word in
   (match t.profile with None -> () | Some p -> profile_step p ~pc insn);
@@ -393,10 +484,17 @@ let step t =
       let width = Insn.mem_width op in
       if Insn.mem_is_store op then (
         t.nstores <- t.nstores + 1;
-        emit t (Ev_store { pc; addr; width }))
+        (match t.hook with
+        | None -> ()
+        | Some f -> f (Ev_store { pc; addr; width }));
+        match t.obs with
+        | None -> ()
+        | Some l -> obs_record l (Ob_store { pc; addr; width; value = reg t rd }))
       else (
         t.nloads <- t.nloads + 1;
-        emit t (Ev_load { pc; addr; width }));
+        match t.hook with
+        | None -> ()
+        | Some f -> f (Ev_load { pc; addr; width }));
       match op with
       | Insn.Ld -> set_reg t rd (load_mem t addr 4 ~signed:false)
       | Insn.Ldub -> set_reg t rd (load_mem t addr 1 ~signed:false)
@@ -430,19 +528,43 @@ type result = {
 }
 
 (** [run ?fuel t] executes until exit. Raises {!Fault} on machine faults and
-    {!Out_of_fuel} after [fuel] instructions (default 200M). *)
+    {!Out_of_fuel} after [fuel] instructions (default 200M). When an
+    observable-event sink is installed, faults and fuel exhaustion are
+    recorded in the log (as {!Ob_fault} / {!Ob_fuel}) before the exception
+    propagates, so the log always carries the run's terminal event. *)
 let run ?(fuel = 200_000_000) t =
-  while t.exited = None do
-    if t.ninsns >= fuel then raise Out_of_fuel;
-    step t
-  done;
-  {
-    exit_code = Option.get t.exited;
-    insns = t.ninsns;
-    loads = t.nloads;
-    stores = t.nstores;
-    out = Buffer.contents t.output;
-  }
+  try
+    while t.exited = None do
+      if t.ninsns >= fuel then raise Out_of_fuel;
+      step t
+    done;
+    {
+      exit_code = Option.get t.exited;
+      insns = t.ninsns;
+      loads = t.nloads;
+      stores = t.nstores;
+      out = Buffer.contents t.output;
+    }
+  with
+  | Fault what as e ->
+      (match t.obs with
+      | None -> ()
+      | Some l -> obs_record l (Ob_fault { pc = t.pc; what }));
+      raise e
+  | Out_of_fuel as e ->
+      (match t.obs with
+      | None -> ()
+      | Some l -> obs_record l (Ob_fuel { pc = t.pc }));
+      raise e
+
+(** {1 Inquiry accessors (for the differential oracle)} *)
+
+let output t = Buffer.contents t.output
+
+let insns_executed t = t.ninsns
+
+(** A copy of the register file (32 GPRs followed by icc and y). *)
+let registers t = Array.copy t.regs
 
 (** [run_exe ?fuel ?hook ?profile exe] loads and runs an executable.
     [profile] collects ground-truth execution statistics (see {!profile});

@@ -94,6 +94,17 @@ let error_message = function
 
 let pp_error fmt e = Format.fprintf fmt "%s" (error_message e)
 
+(** The error's layer, as a short stable tag ("sef", "exe", "decode",
+    "edit", "invariant", "budget") — the coverage signature the
+    coverage-guided mutation scheduler and the fuzz outcome tables key on. *)
+let error_kind = function
+  | Sef_error _ -> "sef"
+  | Exe_error _ -> "exe"
+  | Decode_error _ -> "decode"
+  | Edit_error _ -> "edit"
+  | Invariant_error _ -> "invariant"
+  | Budget_error _ -> "budget"
+
 (** The one exception the exception-shim entry points raise. Code that wants
     values uses the [Result]-returning APIs ([Sef.load],
     [Executable.open_exe]) or {!guard}. *)
