@@ -2,7 +2,7 @@
 # build everything, run the test suites, the never-crash fuzz corpus, and
 # the observability trace smoke test.
 
-.PHONY: all build test fuzz diff-smoke trace-smoke check clean
+.PHONY: all build test fuzz diff-smoke equiv-smoke trace-smoke check clean
 
 all: build
 
@@ -20,6 +20,12 @@ fuzz:
 diff-smoke:
 	dune build @diff
 
+# Contract oracle gate: real instrumented edits (qpt2, tracer, SFI) over
+# the corpus must be event-equivalent to the originals modulo each tool's
+# declared side effects — its edit contract.
+equiv-smoke:
+	dune build @equiv
+
 # End-to-end observability gate: generate a synthetic workload, run it under
 # the emulator with tracing + metrics on, then structurally validate the
 # emitted Chrome trace JSON with the bundled checker.
@@ -30,7 +36,7 @@ trace-smoke:
 	./_build/default/bin/trace_check.exe _build/smoke-trace.json
 
 check:
-	dune build && dune runtest && dune build @fuzz && dune build @diff && $(MAKE) trace-smoke
+	dune build && dune runtest && dune build @fuzz && dune build @diff && dune build @equiv && $(MAKE) trace-smoke
 
 clean:
 	dune clean

@@ -475,6 +475,51 @@ let optprof () =
     \ conservation — validated against full instrumentation in the tests)\n\n"
 
 (* ---------------------------------------------------------------- *)
+(* Contract oracle: masked equivalence of real instrumented edits    *)
+(* ---------------------------------------------------------------- *)
+
+let equiv () =
+  print_endline "--- contract oracle: real edits over the example corpus ---";
+  let corpus = Eel_diffexec.Corpus.all () in
+  Printf.printf "%-10s %10s %12s %12s %10s\n" "tool" "programs" "equivalent"
+    "violations" "masked";
+  List.iter
+    (fun tool ->
+      let total = ref 0
+      and ok = ref 0
+      and bad = ref 0
+      and masked = ref 0 in
+      List.iter
+        (fun (_, exe) ->
+          incr total;
+          match Eel_tools.Toolbox.apply tool mach exe with
+          | Error m -> failwith ("bench: " ^ m)
+          | Ok ap -> (
+              match
+                Eel_diffexec.Diffexec.verify_edit
+                  ~norm_b:ap.Eel_tools.Toolbox.ap_norm_b
+                  ~block_of:ap.Eel_tools.Toolbox.ap_block_of
+                  ~contract:ap.Eel_tools.Toolbox.ap_contract exe
+                  ap.Eel_tools.Toolbox.ap_edited
+              with
+              | Error e ->
+                  failwith ("bench: " ^ Eel_robust.Diag.error_message e)
+              | Ok er ->
+                  masked := !masked + er.Eel_diffexec.Diffexec.er_masked;
+                  if
+                    er.Eel_diffexec.Diffexec.er_report
+                      .Eel_diffexec.Diffexec.rp_verdict
+                    = Eel_diffexec.Diffexec.Equivalent
+                  then incr ok
+                  else incr bad))
+        corpus;
+      Printf.printf "%-10s %10d %12d %12d %10d\n" tool !total !ok !bad !masked)
+    Eel_tools.Toolbox.names;
+  Printf.printf
+    "(every tool must verify masked-equivalent on every program; the\n\
+    \ eel.equiv.* registry slice lands in bench-metrics.json)\n\n"
+
+(* ---------------------------------------------------------------- *)
 (* Micro-benchmarks                                                  *)
 (* ---------------------------------------------------------------- *)
 
@@ -601,6 +646,7 @@ let all =
       ("e7", e7);
       ("e8", e8);
       ("optprof", optprof);
+      ("equiv", equiv);
       ("fold", ablation_folding);
       ("slice", ablation_slicing);
       ("span", ablation_span);

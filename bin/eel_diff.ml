@@ -1,27 +1,71 @@
-(* Differential verification driver: run the identity-edit round-trip
-   oracle over the example corpus (or over SEF images given on the command
-   line) and report each verdict. The oracle pushes every program through
-   load -> CFG -> no-op edit -> finalize -> emit, then runs the original
-   and edited images in lockstep under a shared fuel budget and requires
-   event-equivalence. Front-end refusals surface as structured Diag errors
-   (the driver degrades, it never crashes); any divergence or refusal makes
+(* Differential verification driver: run the round-trip oracle over the
+   example corpus (or over SEF images given on the command line) and report
+   each verdict.
+
+   Default mode is the identity-edit oracle: every program is pushed
+   through load -> CFG -> no-op edit -> finalize -> emit, then the original
+   and edited images run in lockstep under a shared fuel budget and must be
+   event-equivalent.
+
+   --tool NAME switches to the contract oracle: the named tool (qpt2,
+   oldqpt, tracer, sfi, amemory, optprof) instruments each program for
+   real, and the edited image must be event-equivalent to the original
+   modulo the tool's declared side effects (its edit contract), with the
+   instrumentation's own output cross-validated against emulator ground
+   truth. Contract violations and divergences both fail the run.
+
+   Front-end refusals surface as structured Diag errors (the driver
+   degrades, it never crashes); any divergence, violation or refusal makes
    the exit status 1.
 
-   --metrics dumps the eel.diff.* registry slice at the end; --trace FILE
-   writes the whole run as a Chrome trace timeline. *)
+   --json writes one machine-readable JSON object (per-program verdicts +
+   summary) to stdout instead of the table; --metrics dumps the eel.diff.*
+   and eel.equiv.* registry slices at the end; --trace FILE writes the
+   whole run as a Chrome trace timeline. *)
 
 module Sef = Eel_sef.Sef
 module Diag = Eel_robust.Diag
 module Diffexec = Eel_diffexec.Diffexec
 module Corpus = Eel_diffexec.Corpus
+module Toolbox = Eel_tools.Toolbox
 module Trace = Eel_obs.Trace
 module Metrics = Eel_obs.Metrics
+
+type outcome =
+  | O_report of Diffexec.report * int  (** report, masked-event count *)
+  | O_error of Diag.error
+
+let run_identity ~fuel exe =
+  match Diffexec.identity_roundtrip ~fuel ~mach:Eel_sparc.Mach.mach exe with
+  | Ok rp -> O_report (rp, 0)
+  | Error e -> O_error e
+
+let run_tool ~fuel ~tool exe =
+  let applied =
+    Diag.guard (fun () ->
+        match Toolbox.apply tool Eel_sparc.Mach.mach exe with
+        | Ok ap -> ap
+        | Error msg -> Diag.fail (Diag.Exe_error { what = msg }))
+  in
+  match applied with
+  | Error e -> O_error e
+  | Ok ap -> (
+      match
+        Diffexec.verify_edit ~fuel ~norm_b:ap.Toolbox.ap_norm_b
+          ~block_of:ap.Toolbox.ap_block_of ~contract:ap.Toolbox.ap_contract
+          exe ap.Toolbox.ap_edited
+      with
+      | Ok er ->
+          O_report (er.Diffexec.er_report, er.Diffexec.er_masked)
+      | Error e -> O_error e)
+
+let json_escape = Trace.json_escape
 
 let () =
   Printexc.record_backtrace true;
   let fuel = ref Diffexec.default_fuel in
-  let verbose = ref false and show_metrics = ref false in
-  let trace_file = ref "" in
+  let verbose = ref false and show_metrics = ref false and json = ref false in
+  let trace_file = ref "" and tool = ref "" in
   let files = ref [] in
   Arg.parse
     [
@@ -29,59 +73,114 @@ let () =
         Arg.Set_int fuel,
         Printf.sprintf "FUEL shared per-side instruction budget (default %d)"
           Diffexec.default_fuel );
+      ( "--tool",
+        Arg.Set_string tool,
+        Printf.sprintf
+          "NAME verify a real instrumented edit under its contract (%s)"
+          (String.concat "|" Toolbox.names) );
+      ("--json", Arg.Set json, "emit machine-readable JSON verdicts on stdout");
       ("--verbose", Arg.Set verbose, "print event/instruction counts per program");
-      ("--metrics", Arg.Set show_metrics, "dump the eel.diff.* metrics at the end");
+      ( "--metrics",
+        Arg.Set show_metrics,
+        "dump the eel.diff.* / eel.equiv.* metrics at the end" );
       ("--trace", Arg.Set_string trace_file, "FILE to write a Chrome trace timeline to");
     ]
     (fun f -> files := f :: !files)
-    "eel_diff [FILE.sef ...]: identity-edit round-trip oracle (default: built-in corpus)";
+    "eel_diff [--tool NAME] [FILE.sef ...]: differential oracle (default: \
+     built-in corpus)";
   let tracer = if !trace_file <> "" then Some (Trace.create ()) else None in
   Trace.set_current tracer;
+  (if !tool <> "" && not (List.mem !tool Toolbox.names) then (
+     Printf.eprintf "eel_diff: unknown tool %s (expected one of: %s)\n" !tool
+       (String.concat ", " Toolbox.names);
+     exit 2));
   let programs =
     match List.rev !files with
     | [] -> List.map (fun (n, e) -> (n, Ok e)) (Corpus.all ())
-    | fs ->
-        List.map
-          (fun f ->
-            (Filename.basename f, Sef.load_file f))
-          fs
+    | fs -> List.map (fun f -> (Filename.basename f, Sef.load_file f)) fs
+  in
+  let oracle =
+    if !tool = "" then run_identity ~fuel:!fuel
+    else run_tool ~fuel:!fuel ~tool:!tool
   in
   let equivalent = ref 0
   and truncated = ref 0
   and diverged = ref 0
+  and violations = ref 0
   and errors = ref 0 in
-  List.iter
-    (fun (name, img) ->
-      match img with
-      | Error e ->
-          incr errors;
-          Printf.printf "%-14s ERROR  %s\n" name (Diag.error_message e)
-      | Ok exe -> (
-          match
-            Diffexec.identity_roundtrip ~fuel:!fuel ~mach:Eel_sparc.Mach.mach
-              exe
-          with
-          | Error e ->
-              incr errors;
-              Printf.printf "%-14s ERROR  %s\n" name (Diag.error_message e)
-          | Ok rp ->
-              (match rp.Diffexec.rp_verdict with
-              | Diffexec.Equivalent -> incr equivalent
-              | Diffexec.Fuel_truncated_equal -> incr truncated
-              | Diffexec.Both_fault | Diffexec.Diverged _ -> incr diverged);
-              if !verbose || Diffexec.is_divergence rp.Diffexec.rp_verdict then
-                Format.printf "%-14s %a@." name Diffexec.pp_report rp
-              else
-                Printf.printf "%-14s %s\n" name
-                  (Diffexec.verdict_name rp.Diffexec.rp_verdict)))
-    programs;
-  Printf.printf
-    "eel_diff: %d programs: %d equivalent, %d fuel-truncated, %d diverged, %d errors\n"
-    (List.length programs) !equivalent !truncated !diverged !errors;
+  let json_rows = Buffer.create 1024 in
+  let results =
+    List.map
+      (fun (name, img) ->
+        let outcome =
+          match img with Error e -> O_error e | Ok exe -> oracle exe
+        in
+        (match outcome with
+        | O_error _ -> incr errors
+        | O_report (rp, _) -> (
+            match rp.Diffexec.rp_verdict with
+            | Diffexec.Equivalent -> incr equivalent
+            | Diffexec.Fuel_truncated_equal -> incr truncated
+            | Diffexec.Contract_violation -> incr violations
+            | Diffexec.Both_fault | Diffexec.Diverged _ -> incr diverged));
+        (name, outcome))
+      programs
+  in
+  if !json then (
+    List.iter
+      (fun (name, outcome) ->
+        if Buffer.length json_rows > 0 then Buffer.add_string json_rows ",";
+        match outcome with
+        | O_error e ->
+            Buffer.add_string json_rows
+              (Printf.sprintf {|{"program":"%s","error":"%s"}|}
+                 (json_escape name)
+                 (json_escape (Diag.error_message e)))
+        | O_report (rp, masked) ->
+            Buffer.add_string json_rows
+              (Printf.sprintf {|{"program":"%s","report":%s}|}
+                 (json_escape name)
+                 (Diffexec.report_to_json ~masked rp)))
+      results;
+    Printf.printf
+      {|{"oracle":"%s","fuel":%d,"programs":[%s],"summary":{"total":%d,"equivalent":%d,"fuel_truncated":%d,"diverged":%d,"contract_violations":%d,"errors":%d}}|}
+      (if !tool = "" then "identity" else !tool)
+      !fuel (Buffer.contents json_rows) (List.length results) !equivalent
+      !truncated !diverged !violations !errors;
+    print_newline ())
+  else (
+    List.iter
+      (fun (name, outcome) ->
+        match outcome with
+        | O_error e ->
+            Printf.printf "%-14s ERROR  %s\n" name (Diag.error_message e)
+        | O_report (rp, masked) ->
+            if !verbose || Diffexec.is_divergence rp.Diffexec.rp_verdict then
+              Format.printf "%-14s %a%s@." name Diffexec.pp_report rp
+                (if masked > 0 then
+                   Printf.sprintf " [%d events masked]" masked
+                 else "")
+            else
+              Printf.printf "%-14s %s%s\n" name
+                (Diffexec.verdict_name rp.Diffexec.rp_verdict)
+                (if masked > 0 then
+                   Printf.sprintf " (%d events masked)" masked
+                 else ""))
+      results;
+    Printf.printf
+      "eel_diff%s: %d programs: %d equivalent, %d fuel-truncated, %d \
+       diverged, %d contract violations, %d errors\n"
+      (if !tool = "" then "" else " --tool " ^ !tool)
+      (List.length results) !equivalent !truncated !diverged !violations
+      !errors);
   if !show_metrics then
     List.iter
       (fun (name, v) ->
-        if String.length name >= 8 && String.sub name 0 8 = "eel.diff" then
+        let has_prefix p =
+          String.length name >= String.length p
+          && String.sub name 0 (String.length p) = p
+        in
+        if has_prefix "eel.diff" || has_prefix "eel.equiv" then
           match v with
           | Metrics.Int n -> Printf.printf "  %-32s %d\n" name n
           | Metrics.Float f -> Printf.printf "  %-32s %g\n" name f
@@ -90,4 +189,4 @@ let () =
   (match tracer with
   | Some tr -> Trace.write_chrome_json tr !trace_file
   | None -> ());
-  if !diverged > 0 || !errors > 0 then exit 1
+  if !diverged > 0 || !violations > 0 || !errors > 0 then exit 1

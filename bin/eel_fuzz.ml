@@ -20,6 +20,7 @@ module Diag = Eel_robust.Diag
 module Mutate = Eel_mutate.Mutate
 module Sched = Eel_mutate.Sched
 module Diffexec = Eel_diffexec.Diffexec
+module Toolbox = Eel_tools.Toolbox
 module E = Eel.Executable
 module Trace = Eel_obs.Trace
 module Metrics = Eel_obs.Metrics
@@ -73,25 +74,46 @@ let class_counter kind slot =
    closes the loop through Sched, biasing the mutation budget toward the
    classes still discovering new signatures. *)
 
-let diff_signature ~fuel bytes =
+let diff_signature ~fuel ~tool bytes =
   let diag = Diag.create () in
   match Sef.load ~diag bytes with
   | Error e -> "rejected:" ^ Diag.error_kind e
-  | Ok exe -> (
-      let budget = Diag.budget ~stage:"fuzz-diff" (8 * 1024 * 1024) in
-      match
-        Diffexec.identity_roundtrip ~fuel ~diag ~budget
-          ~mach:Eel_sparc.Mach.mach exe
-      with
-      | Error e -> "rejected:" ^ Diag.error_kind e
-      | Ok rp ->
-          (if Diag.count diag = 0 then "ok:" else "degraded:")
-          ^ Diffexec.coverage_signature rp)
+  | Ok exe ->
+      if tool = "" then (
+        let budget = Diag.budget ~stage:"fuzz-diff" (8 * 1024 * 1024) in
+        match
+          Diffexec.identity_roundtrip ~fuel ~diag ~budget
+            ~mach:Eel_sparc.Mach.mach exe
+        with
+        | Error e -> "rejected:" ^ Diag.error_kind e
+        | Ok rp ->
+            (if Diag.count diag = 0 then "ok:" else "degraded:")
+            ^ Diffexec.coverage_signature rp)
+      else (
+        (* contract-oracle mode: instrument the mutant with the named tool
+           and require masked-event equivalence under its contract *)
+        match
+          Diag.guard (fun () ->
+              match Toolbox.apply tool Eel_sparc.Mach.mach exe with
+              | Ok ap -> ap
+              | Error m -> Diag.fail (Diag.Exe_error { what = m }))
+        with
+        | Error e -> "rejected:" ^ Diag.error_kind e
+        | Ok ap -> (
+            match
+              Diffexec.verify_edit ~fuel ~norm_b:ap.Toolbox.ap_norm_b
+                ~block_of:ap.Toolbox.ap_block_of
+                ~contract:ap.Toolbox.ap_contract exe ap.Toolbox.ap_edited
+            with
+            | Error e -> "rejected:" ^ Diag.error_kind e
+            | Ok er ->
+                (if Diag.count diag = 0 then "ok:" else "degraded:")
+                ^ Diffexec.coverage_signature er.Diffexec.er_report))
 
 let diff_slots =
   [
     "survived"; "degraded"; "rejected"; "equivalent"; "fuel-eq"; "diverged";
-    "both-fault";
+    "both-fault"; "contract";
   ]
 
 (* signature -> the outcome-table slots it lands in *)
@@ -115,6 +137,7 @@ let diff_slots_of signature =
         if v = "equivalent" then [ "equivalent" ]
         else if v = "fuel-truncated-equal" then [ "fuel-eq" ]
         else if vp "both-fault" then [ "both-fault" ]
+        else if vp "contract-violation" then [ "contract" ]
         else if vp "diverged" then [ "diverged" ]
         else [])
   in
@@ -126,6 +149,7 @@ let () =
   let verbose = ref false in
   let trace_file = ref "" in
   let diff = ref false and fuel = ref 300_000 in
+  let tool = ref "" in
   Arg.parse
     [
       ("--count", Arg.Set_int count, "NUMBER of mutants (default 200)");
@@ -139,6 +163,12 @@ let () =
       ( "--fuel",
         Arg.Set_int fuel,
         "FUEL per-side instruction budget in --diff mode (default 300000)" );
+      ( "--tool",
+        Arg.Set_string tool,
+        Printf.sprintf
+          "NAME in --diff mode, verify a real instrumented edit of each \
+           mutant under the tool's contract (%s)"
+          (String.concat "|" Toolbox.names) );
     ]
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
     "eel_fuzz: assert the front end never crashes on mutated executables";
@@ -148,12 +178,16 @@ let () =
     Eel_workload.Gen.assemble_program
       { Eel_workload.Gen.default with seed = !seed; routines = !routines }
   in
+  if !tool <> "" && not (List.mem !tool Toolbox.names) then (
+    Printf.eprintf "eel_fuzz: unknown tool %s (expected one of: %s)\n" !tool
+      (String.concat ", " Toolbox.names);
+    exit 2);
   if !diff then (
     let crashed = ref 0 in
     let signature i kind bytes =
       ignore i;
       ignore kind;
-      try diff_signature ~fuel:!fuel bytes with
+      try diff_signature ~fuel:!fuel ~tool:!tool bytes with
       | Stack_overflow ->
           incr crashed;
           "crash"
@@ -188,11 +222,12 @@ let () =
     Metrics.set (Metrics.gauge "eel.diff.cover.blind") (float_of_int nb);
     Metrics.set (Metrics.gauge "eel.diff.cover.guided") (float_of_int ng);
     Printf.printf
-      "eel_fuzz --diff: %d mutants (seed %d), per-side fuel %d\n" !count !seed
-      !fuel;
-    Printf.printf "%-22s %9s %9s %9s %10s %9s %9s %10s %9s\n" "mutation class"
-      "survived" "degraded" "rejected" "equivalent" "fuel-eq" "diverged"
-      "both-fault" "attempts";
+      "eel_fuzz --diff%s: %d mutants (seed %d), per-side fuel %d\n"
+      (if !tool = "" then "" else " --tool " ^ !tool)
+      !count !seed !fuel;
+    Printf.printf "%-22s %9s %9s %9s %10s %9s %9s %10s %9s %9s\n"
+      "mutation class" "survived" "degraded" "rejected" "equivalent" "fuel-eq"
+      "diverged" "both-fault" "contract" "attempts";
     List.iter
       (fun kind ->
         let kname = Mutate.name kind in
@@ -202,9 +237,9 @@ let () =
           | _ -> 0
         in
         match List.map read diff_slots with
-        | [ s; d; r; eq; fe; dv; bf ] ->
-            Printf.printf "%-22s %9d %9d %9d %10d %9d %9d %10d %9d\n" kname s
-              d r eq fe dv bf
+        | [ s; d; r; eq; fe; dv; bf; cv ] ->
+            Printf.printf "%-22s %9d %9d %9d %10d %9d %9d %10d %9d %9d\n"
+              kname s d r eq fe dv bf cv
               (Sched.attempts_of sched kind)
         | _ -> assert false)
       Mutate.all;

@@ -595,6 +595,19 @@ let edited_address_map t =
   finalize t;
   match t.addr_map with Some map -> map | None -> assert false
 
+(** [inverse_address_norm t] — a value normalizer for the differential
+    oracle: edited instruction addresses map back to their original ones,
+    anything else passes through. An edited run that spills a code pointer
+    (e.g. a return address after [call]) observes the edited address; this
+    maps it back so the value compares equal to the original run's. *)
+let inverse_address_norm t =
+  let map = edited_address_map t in
+  let inv = Hashtbl.create (Hashtbl.length map) in
+  Hashtbl.iter
+    (fun orig na -> if not (Hashtbl.mem inv na) then Hashtbl.add inv na orig)
+    map;
+  fun v -> match Hashtbl.find_opt inv v with Some orig -> orig | None -> v
+
 (** [block_of_addr t a] — the CFG block id and routine name containing the
     original instruction address [a], if analysis placed it in one. Used by
     divergence reports to anchor a PC in CFG terms. *)

@@ -45,6 +45,7 @@ module E = Eel.Executable
 module Diag = Eel_robust.Diag
 module Trace = Eel_obs.Trace
 module Metrics = Eel_obs.Metrics
+module Contract = Eel_equiv.Contract
 
 (** Default shared fuel budget for a differential run: small enough that a
     hostile mutant cannot stall a fuzzing campaign, large enough that every
@@ -74,9 +75,12 @@ type run = {
   r_events : Emu.obs_event array;  (** retained events, execution order *)
   r_total : int;  (** all events, including any dropped past the bound *)
   r_truncated : bool;
+  r_filtered : int;  (** events a contract filter masked at record time *)
   r_out : string;
   r_insns : int;
   r_regs : int array;  (** final register file *)
+  r_mem : Bytes.t;  (** final memory image (contract checks read it) *)
+  r_profile : Emu.profile option;  (** ground-truth profile, when requested *)
 }
 
 (** [execute ?fuel ?limit ?headroom exe] loads and runs [exe] with the
@@ -84,9 +88,14 @@ type run = {
     {e data} here, not errors — they end the log like any other terminal
     event. [Error _] is reserved for images the emulator cannot even load
     (hostile geometry), reported as a structured {!Diag.error} so drivers
-    degrade like the rest of the front end. *)
-let execute ?(fuel = default_fuel) ?limit ?headroom (exe : Sef.t) :
-    (run, Diag.error) result =
+    degrade like the rest of the front end.
+
+    [profile] additionally collects the ground-truth execution profile;
+    [filter] installs a record-time event filter with access to the live
+    machine (the contract oracle masks an edit's declared side effects
+    there, where the stack pointer is still known). *)
+let execute ?(fuel = default_fuel) ?limit ?headroom ?(profile = false) ?filter
+    (exe : Sef.t) : (run, Diag.error) result =
   match
     try Ok (Emu.load ?headroom exe)
     with Emu.Fault m -> Error (Diag.Exe_error { what = "emulator load: " ^ m })
@@ -95,6 +104,16 @@ let execute ?(fuel = default_fuel) ?limit ?headroom (exe : Sef.t) :
   | Ok t ->
       let log = Emu.obs_log ?limit () in
       Emu.set_obs t (Some log);
+      let prof =
+        if profile then (
+          let p = Emu.create_profile () in
+          Emu.set_profile t (Some p);
+          Some p)
+        else None
+      in
+      (match filter with
+      | None -> ()
+      | Some keep -> Emu.set_obs_filter t (Some (fun ev -> keep t ev)));
       let stop =
         match Emu.run ~fuel t with
         | r -> S_exit r.Emu.exit_code
@@ -107,9 +126,12 @@ let execute ?(fuel = default_fuel) ?limit ?headroom (exe : Sef.t) :
           r_events = Emu.obs_events_array log;
           r_total = Emu.obs_total log;
           r_truncated = Emu.obs_truncated log;
+          r_filtered = Emu.obs_filtered log;
           r_out = Emu.output t;
           r_insns = Emu.insns_executed t;
           r_regs = Emu.registers t;
+          r_mem = t.Emu.mem;
+          r_profile = prof;
         }
 
 (** {1 The lockstep comparator} *)
@@ -119,11 +141,16 @@ type dclass =
   | D_kind  (** the two sides produced different {e kinds} of event *)
   | D_value  (** same event kind, different payload (address/value/code) *)
   | D_fault_asym  (** one side faulted where the other did something else *)
+  | D_contract
+      (** the mismatch is the edited side's own instrumentation stepping
+          outside its contract (e.g. a counter store to an undeclared
+          address), not a program-behaviour change *)
 
 let dclass_name = function
   | D_kind -> "kind-mismatch"
   | D_value -> "value-mismatch"
   | D_fault_asym -> "fault-asymmetry"
+  | D_contract -> "contract"
 
 type verdict =
   | Equivalent  (** both exited; logs and output identical *)
@@ -132,19 +159,29 @@ type verdict =
           least one side: equivalence is neither proven nor refuted *)
   | Both_fault  (** both faulted after identical observable prefixes *)
   | Diverged of dclass
+  | Contract_violation
+      (** the edit broke its own contract: either an undeclared side
+          effect surfaced in the event stream, or a post-run check on the
+          instrumentation's output failed *)
 
 let verdict_name = function
   | Equivalent -> "equivalent"
   | Fuel_truncated_equal -> "fuel-truncated-equal"
   | Both_fault -> "both-fault"
   | Diverged c -> "diverged:" ^ dclass_name c
+  | Contract_violation -> "contract-violation"
 
-let is_divergence = function Diverged _ -> true | _ -> false
+let is_divergence = function
+  | Diverged _ | Contract_violation -> true
+  | _ -> false
 
 (** Where (and how) the two runs first disagreed. [dv_pc] is the
     {e original-side} program counter — the address a tool-writer can find
     in the unedited binary; [dv_block] anchors it in CFG terms when the
-    oracle has the analysis at hand. *)
+    oracle has the analysis at hand. For a {!Contract_violation} classified
+    from the event stream, [dv_pc] is instead the {e edited-side} pc of the
+    offending instrumentation event — the undeclared side effect has no
+    original-side home by definition. *)
 type divergence = {
   dv_class : dclass;
   dv_index : int;  (** event index of the first mismatch *)
@@ -228,17 +265,24 @@ let reg_delta ~norm_a ~norm_b (a : run) (b : run) =
   done;
   !out
 
-(** [compare_runs ?norm_a ?norm_b ?block_of a b] — the lockstep comparator.
-    [a] is conventionally the original image's run, [b] the edited one;
-    [norm_a]/[norm_b] normalize observed values (the oracle passes the
-    inverse address map as [norm_b]); [block_of] maps an original pc to a
-    (routine, block id) anchor for the report. *)
+(** [compare_runs ?norm_a ?norm_b ?block_of ?suspect a b] — the lockstep
+    comparator. [a] is conventionally the original image's run, [b] the
+    edited one; [norm_a]/[norm_b] normalize observed values (the oracle
+    passes the inverse address map as [norm_b]); [block_of] maps an
+    original pc to a (routine, block id) anchor for the report.
+
+    [suspect] is the contract oracle's classifier: at the first mismatch,
+    an edited-side event it recognizes as instrumentation traffic (a store
+    to an address the original run never stores to) turns the verdict into
+    {!Contract_violation} — the edit leaked an undeclared side effect —
+    instead of a plain program-behaviour divergence. *)
 let compare_runs ?(norm_a = fun v -> v) ?(norm_b = fun v -> v)
-    ?(block_of = fun _ -> None) (a : run) (b : run) : report =
+    ?(block_of = fun _ -> None) ?(suspect = fun (_ : Emu.obs_event) -> false)
+    (a : run) (b : run) : report =
   let na = Array.length a.r_events and nb = Array.length b.r_events in
   let n = min na nb in
-  let mk_divergence cls i what =
-    let pc = anchor_pc a i in
+  let mk_divergence ?pc cls i what =
+    let pc = match pc with Some pc -> pc | None -> anchor_pc a i in
     {
       dv_class = cls;
       dv_index = i;
@@ -273,6 +317,18 @@ let compare_runs ?(norm_a = fun v -> v) ?(norm_b = fun v -> v)
           | Ok () -> scan (i + 1)
           | Error (cls, what) -> Some (`Mismatch (cls, what), i))
   in
+  (* a mismatch whose edited-side event is recognizable instrumentation
+     traffic is the edit breaking its contract, not the program changing
+     behaviour; anchor the report at the offending edited-side pc *)
+  let classify cls i what =
+    match event_at b i with
+    | Some ev when suspect ev ->
+        finish Contract_violation
+          (Some
+             (mk_divergence ~pc:(Emu.obs_pc ev) D_contract i
+                ("undeclared side effect: " ^ what)))
+    | _ -> finish (Diverged cls) (Some (mk_divergence cls i what))
+  in
   match scan 0 with
   | Some (`Fuel, i) ->
       (* both-fuel at the same index is the canonical fuel-truncated-equal;
@@ -280,8 +336,7 @@ let compare_runs ?(norm_a = fun v -> v) ?(norm_b = fun v -> v)
          still truncation, not refutation *)
       ignore i;
       finish Fuel_truncated_equal None
-  | Some (`Mismatch (cls, what), i) ->
-      finish (Diverged cls) (Some (mk_divergence cls i what))
+  | Some (`Mismatch (cls, what), i) -> classify cls i what
   | None ->
       if na <> nb then
         if a.r_truncated || b.r_truncated then finish Fuel_truncated_equal None
@@ -289,11 +344,8 @@ let compare_runs ?(norm_a = fun v -> v) ?(norm_b = fun v -> v)
           (* a complete log always ends in a terminal event, and terminal
              events stop execution — a longer log with an identical prefix
              means the shorter side stopped where the longer continued *)
-          finish (Diverged D_kind)
-            (Some
-               (mk_divergence D_kind n
-                  (Printf.sprintf "%d observable events vs %d" a.r_total
-                     b.r_total)))
+          classify D_kind n
+            (Printf.sprintf "%d observable events vs %d" a.r_total b.r_total)
       else if a.r_truncated || b.r_truncated then finish Fuel_truncated_equal None
       else
         match (a.r_stop, b.r_stop) with
@@ -322,6 +374,7 @@ let publish ?(prefix = "eel.diff") (rp : report) =
   | Equivalent -> c "equivalent"
   | Fuel_truncated_equal -> c "fuel_truncated_equal"
   | Both_fault -> c "both_fault"
+  | Contract_violation -> c "contract_violation"
   | Diverged cls ->
       c "diverged";
       c ("class." ^ dclass_name cls));
@@ -361,6 +414,11 @@ let coverage_signature rp =
         | _ -> ""
       in
       "diverged:" ^ dclass_name cls ^ kind
+  | Contract_violation -> (
+      match rp.rp_divergence with
+      | Some { dv_edit = Some ev; _ } ->
+          "contract-violation:" ^ obs_kind_name ev
+      | _ -> "contract-violation:check")
   | Both_fault -> (
       match rp.rp_stops with
       | S_fault wa, _ -> "both-fault:" ^ fault_tag wa
@@ -426,17 +484,9 @@ let identity_roundtrip ?fuel ?limit ?diag ?budget ~mach (exe : Sef.t) :
   match front with
   | Error e -> Error e
   | Ok (t, edited) ->
-      (* invert the original→edited map: an edited run that spills a code
-         pointer (return address) observes the edited address; map it back
-         before comparing *)
-      let map = E.edited_address_map t in
-      let inv = Hashtbl.create (Hashtbl.length map) in
-      Hashtbl.iter
-        (fun orig na -> if not (Hashtbl.mem inv na) then Hashtbl.add inv na orig)
-        map;
-      let norm_b v =
-        match Hashtbl.find_opt inv v with Some orig -> orig | None -> v
-      in
+      (* an edited run that spills a code pointer (return address) observes
+         the edited address; map it back before comparing *)
+      let norm_b = E.inverse_address_norm t in
       let block_of pc = E.block_of_addr t pc in
       let head_a, head_b = equalized_headroom exe edited in
       (match
@@ -454,6 +504,112 @@ let identity_roundtrip ?fuel ?limit ?diag ?budget ~mach (exe : Sef.t) :
               let rp = compare_runs ~norm_b ~block_of ra rb in
               publish rp;
               Ok rp))
+
+(** {1 The contract oracle: verifying real edits}
+
+    {!identity_roundtrip} certifies the no-op edit; {!verify_edit} certifies
+    a {e real} one. The tool supplies its {!Contract} alongside the edited
+    image; the oracle then:
+
+    + runs the original with ground-truth profiling on;
+    + runs the edited image with the contract installed as the emulator's
+      record-time event filter, so declared instrumentation traffic
+      (counter stores, trace-buffer appends, red-zone spills) never enters
+      the log — what remains must match the original event-for-event;
+    + normalizes the original's store addresses under the contract's
+      [addr_norm] (SFI's clamp) and the edited side's values under the
+      inverse address map, exactly like the identity oracle;
+    + classifies any mismatching edited-side store to an address the
+      original run never touched as a {!Contract_violation} — the edit
+      leaked an undeclared side effect — rather than a program divergence;
+    + on equivalence, runs the contract's post-run checks (qpt2's counter
+      words vs the profile's ground truth), demoting a broken promise to
+      {!Contract_violation} as well.
+
+    Results are published under [eel.equiv.*]. *)
+
+(** A {!report} plus how much edited-run traffic the contract masked —
+    "equivalent" always comes with "and this much was masked to get there". *)
+type edit_report = {
+  er_report : report;
+  er_masked : int;  (** edited-run events filtered under the contract *)
+}
+
+let verify_edit ?fuel ?limit ?(norm_b = fun v -> v) ?block_of
+    ~(contract : Contract.t) (orig : Sef.t) (edited : Sef.t) :
+    (edit_report, Diag.error) result =
+  Trace.with_span "equiv.verify"
+    ~args:[ ("tool", contract.Contract.ct_tool) ]
+  @@ fun () ->
+  let head_a, head_b = equalized_headroom orig edited in
+  match
+    Trace.with_span "equiv.run.original" (fun () ->
+        execute ?fuel ?limit ~headroom:head_a ~profile:true orig)
+  with
+  | Error e -> Error e
+  | Ok ra -> (
+      let keep t ev = not (Contract.declared contract ~sp:(Emu.sp t) ev) in
+      match
+        Trace.with_span "equiv.run.edited" (fun () ->
+            execute ?fuel ?limit ~headroom:head_b ~filter:keep edited)
+      with
+      | Error e -> Error e
+      | Ok rb ->
+          (* the original's events as the edited program would observe
+             them: store addresses pushed through the edit's transform *)
+          let ra =
+            match contract.Contract.ct_addr_norm with
+            | None -> ra
+            | Some _ ->
+                {
+                  ra with
+                  r_events =
+                    Array.map (Contract.normalize_orig contract) ra.r_events;
+                }
+          in
+          (* an edited-side store to an address the original run never
+             stores to is instrumentation traffic, not the program *)
+          let orig_stores = Hashtbl.create 1024 in
+          Array.iter
+            (function
+              | Emu.Ob_store { addr; _ } -> Hashtbl.replace orig_stores addr ()
+              | _ -> ())
+            ra.r_events;
+          let suspect = function
+            | Emu.Ob_store { addr; _ } -> not (Hashtbl.mem orig_stores addr)
+            | _ -> false
+          in
+          let rp = compare_runs ~norm_b ?block_of ~suspect ra rb in
+          let rp =
+            match (rp.rp_verdict, ra.r_profile) with
+            | Equivalent, Some profile -> (
+                match Contract.run_checks contract ~profile ~mem:rb.r_mem with
+                | Ok () -> rp
+                | Error what ->
+                    (* event streams matched but the instrumentation's own
+                       output broke its promise *)
+                    {
+                      rp with
+                      rp_verdict = Contract_violation;
+                      rp_divergence =
+                        Some
+                          {
+                            dv_class = D_contract;
+                            dv_index = Array.length rb.r_events;
+                            dv_pc = 0;
+                            dv_block = None;
+                            dv_what = what;
+                            dv_orig = None;
+                            dv_edit = None;
+                            dv_reg_delta = [];
+                          };
+                    })
+            | _ -> rp
+          in
+          publish ~prefix:"eel.equiv" rp;
+          Metrics.incr ~by:rb.r_filtered
+            (Metrics.counter "eel.equiv.masked_events");
+          Ok { er_report = rp; er_masked = rb.r_filtered })
 
 (** {1 Rendering} *)
 
@@ -483,3 +639,36 @@ let pp_report fmt rp =
   match rp.rp_divergence with
   | Some dv -> Format.fprintf fmt "@\n  %a" pp_divergence dv
   | None -> ()
+
+(* machine-readable verdicts (eel_diff --json) *)
+
+let esc s = Trace.json_escape s
+
+let stop_to_json = function
+  | S_exit c -> Printf.sprintf {|{"kind":"exit","code":%d}|} c
+  | S_fault m -> Printf.sprintf {|{"kind":"fault","what":"%s"}|} (esc m)
+  | S_fuel -> {|{"kind":"fuel"}|}
+
+let divergence_to_json dv =
+  let block =
+    match dv.dv_block with
+    | Some (rname, bid) -> Printf.sprintf {|["%s",%d]|} (esc rname) bid
+    | None -> "null"
+  in
+  Printf.sprintf
+    {|{"class":"%s","index":%d,"pc":%d,"block":%s,"what":"%s"}|}
+    (dclass_name dv.dv_class) dv.dv_index dv.dv_pc block (esc dv.dv_what)
+
+(** [report_to_json ?masked rp] — one report as a JSON object (verdict,
+    per-side event/instruction totals, stops, masked-event count, and the
+    first divergence when there is one). *)
+let report_to_json ?(masked = 0) rp =
+  let ea, eb = rp.rp_events and ia, ib = rp.rp_insns in
+  let sa, sb = rp.rp_stops in
+  Printf.sprintf
+    {|{"verdict":"%s","events":[%d,%d],"insns":[%d,%d],"masked":%d,"stops":[%s,%s],"divergence":%s}|}
+    (verdict_name rp.rp_verdict) ea eb ia ib masked (stop_to_json sa)
+    (stop_to_json sb)
+    (match rp.rp_divergence with
+    | Some dv -> divergence_to_json dv
+    | None -> "null")

@@ -86,12 +86,21 @@ type obs_log = {
   ol_limit : int;
   ol_events : obs_event Eel_util.Dyn.t;
   mutable ol_total : int;
+  mutable ol_filtered : int;
+      (** events suppressed by an installed {!set_obs_filter} filter; they
+          consume neither the bound nor [ol_total], so a filtered log
+          compares length-for-length against an unfiltered one *)
 }
 
 let default_obs_limit = 65536
 
 let obs_log ?(limit = default_obs_limit) () =
-  { ol_limit = max 0 limit; ol_events = Eel_util.Dyn.create (); ol_total = 0 }
+  {
+    ol_limit = max 0 limit;
+    ol_events = Eel_util.Dyn.create ();
+    ol_total = 0;
+    ol_filtered = 0;
+  }
 
 let obs_record l ev =
   l.ol_total <- l.ol_total + 1;
@@ -107,6 +116,9 @@ let obs_events_array l = Eel_util.Dyn.to_array l.ol_events
 let obs_total l = l.ol_total
 
 let obs_truncated l = l.ol_total > Eel_util.Dyn.length l.ol_events
+
+(** Events an installed filter suppressed (0 when no filter ran). *)
+let obs_filtered l = l.ol_filtered
 
 (** {1 Execution profiling}
 
@@ -176,6 +188,9 @@ let pc_count p pc = Option.value ~default:0 (Hashtbl.find_opt p.p_pc_counts pc)
 
 let distinct_blocks p = Hashtbl.length p.p_block_counts
 
+(** Dynamic memory-instruction count (loads + stores). *)
+let mem_ops p = p.p_class_counts.(4) + p.p_class_counts.(5)
+
 (** Dynamic instruction mix as [(class, count)] in {!iclass_names} order. *)
 let class_mix p =
   Array.to_list (Array.mapi (fun i n -> (iclass_names.(i), n)) p.p_class_counts)
@@ -209,6 +224,12 @@ type t = {
   output : Buffer.t;
   mutable hook : (event -> unit) option;
   mutable obs : obs_log option;  (** observable-event sink; [None] = free *)
+  mutable obs_filter : (obs_event -> bool) option;
+      (** when installed, an event is recorded only if the filter returns
+          [true]; rejected events are tallied in the log's filtered count.
+          The equivalence oracle uses this to drop an edit contract's
+          declared side effects at record time (spill traffic below the
+          stack pointer can only be recognized while [sp] is live). *)
   mutable profile : profile option;
   mutable text_lo : int;
   mutable text_hi : int;
@@ -270,6 +291,7 @@ let load ?(headroom = default_headroom) (exe : Eel_sef.Sef.t) =
     output = Buffer.create 256;
     hook = None;
     obs = None;
+    obs_filter = None;
     profile = None;
     text_lo;
     text_hi;
@@ -280,7 +302,25 @@ let load ?(headroom = default_headroom) (exe : Eel_sef.Sef.t) =
     [match] per potential event and allocates nothing. *)
 let set_obs t log = t.obs <- log
 
+(** [set_obs_filter t f] installs (or removes) the record-time event filter;
+    it only matters while an observable-event sink is installed. *)
+let set_obs_filter t f = t.obs_filter <- f
+
+(** [set_profile t p] installs (or removes) a ground-truth profile sink,
+    like {!run_exe}'s [?profile] but usable on an already-loaded machine. *)
+let set_profile t p = t.profile <- p
+
 let obs_of t = t.obs
+
+(* route an event through the filter; callers guard on [t.obs] first so the
+   no-sink path allocates nothing *)
+let obs_emit t ev =
+  match t.obs with
+  | None -> ()
+  | Some l -> (
+      match t.obs_filter with
+      | Some keep when not (keep ev) -> l.ol_filtered <- l.ol_filtered + 1
+      | _ -> obs_record l ev)
 
 let reg t r = if r = Regs.g0 then 0 else t.regs.(r)
 
@@ -343,10 +383,10 @@ let syscall t num =
      allocation-free *)
   (match t.obs with
   | None -> ()
-  | Some l ->
-      obs_record l (Ob_trap { pc = t.pc; num; arg = reg t Regs.o0 });
+  | Some _ ->
+      obs_emit t (Ob_trap { pc = t.pc; num; arg = reg t Regs.o0 });
       if num = 1 then
-        obs_record l (Ob_exit { pc = t.pc; code = reg t Regs.o0 land 0xFF }));
+        obs_emit t (Ob_exit { pc = t.pc; code = reg t Regs.o0 land 0xFF }));
   match num with
   | 1 -> t.exited <- Some (reg t Regs.o0 land 0xFF)
   | 2 ->
@@ -489,7 +529,7 @@ let step t =
         | Some f -> f (Ev_store { pc; addr; width }));
         match t.obs with
         | None -> ()
-        | Some l -> obs_record l (Ob_store { pc; addr; width; value = reg t rd }))
+        | Some _ -> obs_emit t (Ob_store { pc; addr; width; value = reg t rd }))
       else (
         t.nloads <- t.nloads + 1;
         match t.hook with
@@ -562,6 +602,10 @@ let run ?(fuel = 200_000_000) t =
 let output t = Buffer.contents t.output
 
 let insns_executed t = t.ninsns
+
+(** Current stack pointer — live machine state, for record-time filters
+    that must recognize red-zone (below-sp) spill traffic. *)
+let sp t = t.regs.(Regs.sp)
 
 (** A copy of the register file (32 GPRs followed by icc and y). *)
 let registers t = Array.copy t.regs

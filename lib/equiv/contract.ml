@@ -1,0 +1,142 @@
+(** Edit contracts — a tool's declaration of its observable side effects.
+
+    EEL's headline claim is that a tool's edits preserve program behaviour
+    {e modulo the tool's own declared effects}: qpt2 stores to its counter
+    words, the tracer appends to its trace buffer, SFI clamps store
+    addresses into the sandbox segment (paper §§5–7). The differential
+    oracle (lib/diffexec) can therefore only certify a {e real} edit if it
+    knows which observable events are the instrumentation talking and which
+    are the program's own. A {!t} is that knowledge, stated by the tool
+    that made the edit:
+
+    - {e regions}: added-data address ranges the instrumentation stores to
+      (counter words, trace buffers, state tables). A store into a declared
+      region is the tool's, and is filtered from the edited run's event log
+      at record time.
+    - {e red zone}: snippets that could not scavenge enough registers spill
+      below the stack pointer (see {!Eel.Snippet}); a store within
+      [red_zone] bytes {e below the live sp} is instrumentation bookkeeping.
+      Only the emulator knows sp at store time, so this part of the mask is
+      applied by the record-time filter, never post-hoc.
+    - {e traps}: extra system-call numbers the instrumentation issues (a
+      tracing edit that emits [ta] trace traps declares them here).
+    - {e addr_norm}: a transfer function the edit applies to {e every}
+      program store address (SFI's clamp). The oracle applies it to the
+      {e original} run's store addresses so both sides land in the image
+      the edited program actually produces.
+    - {e checks}: promises about the instrumentation's own output, verified
+      after an equivalent run against emulator ground truth (qpt2's counter
+      words must equal the profile's execution counts).
+
+    The contract deliberately has no opinion about {e values} stored by the
+    program, exit codes, or program output: those are the oracle's job.
+    Everything the contract masks is accounted for (the emulator counts
+    filtered events), so "equivalent" always comes with "and this much
+    traffic was masked under the contract". *)
+
+module Emu = Eel_emu.Emu
+
+(** A half-open address range [\[rg_lo, rg_hi)] the instrumentation owns. *)
+type region = { rg_name : string; rg_lo : int; rg_hi : int }
+
+(** A post-run promise about the instrumentation's own output: given the
+    {e original} run's ground-truth profile and the {e edited} run's final
+    memory, decide whether the instrumentation told the truth. *)
+type check = {
+  ck_name : string;
+  ck_run : profile:Emu.profile -> mem:Bytes.t -> (unit, string) result;
+}
+
+type t = {
+  ct_tool : string;
+  ct_regions : region list;
+  ct_red_zone : int;
+      (** bytes below the live stack pointer masked in the edited run
+          (snippet spill slots); 0 = the edit never spills *)
+  ct_traps : int list;  (** extra trap numbers the instrumentation issues *)
+  ct_addr_norm : (int -> int) option;
+      (** applied to original-side store addresses before comparison *)
+  ct_checks : check list;
+}
+
+let make ?(regions = []) ?(red_zone = 0) ?(traps = []) ?addr_norm
+    ?(checks = []) tool =
+  {
+    ct_tool = tool;
+    ct_regions = regions;
+    ct_red_zone = max 0 red_zone;
+    ct_traps = traps;
+    ct_addr_norm = addr_norm;
+    ct_checks = checks;
+  }
+
+let region ~name ~lo ~size = { rg_name = name; rg_lo = lo; rg_hi = lo + size }
+
+(** [span ~name addrs] — the smallest region covering every 4-byte word in
+    [addrs]; [None] when the list is empty (an edit that placed nothing). *)
+let span ~name = function
+  | [] -> None
+  | a :: rest ->
+      let lo = List.fold_left min a rest and hi = List.fold_left max a rest in
+      Some { rg_name = name; rg_lo = lo; rg_hi = hi + 4 }
+
+let in_region r a = a >= r.rg_lo && a < r.rg_hi
+
+(** Does the contract declare a store to address [a]? (Regions only — the
+    red zone needs a live sp, see {!declared}.) *)
+let declares_store t a = List.exists (fun r -> in_region r a) t.ct_regions
+
+(** [declared t ~sp ev] — is [ev] the instrumentation's own traffic under
+    this contract, given the live stack pointer [sp]? This is the
+    record-time mask the oracle installs as the edited run's event filter. *)
+let declared t ~sp ev =
+  match ev with
+  | Emu.Ob_store { addr; _ } ->
+      declares_store t addr
+      || (t.ct_red_zone > 0 && addr >= sp - t.ct_red_zone && addr < sp)
+  | Emu.Ob_trap { num; _ } -> List.mem num t.ct_traps
+  | _ -> false
+
+(** [normalize_orig t ev] — the original-side event as the edited program
+    would observe it: store addresses pushed through [addr_norm] (SFI's
+    clamp); everything else unchanged. *)
+let normalize_orig t ev =
+  match (t.ct_addr_norm, ev) with
+  | Some f, Emu.Ob_store { pc; addr; width; value } ->
+      Emu.Ob_store { pc; addr = f addr; width; value }
+  | _ -> ev
+
+(** [mask_events t evs] — post-hoc filtering of an event array under the
+    contract's {e static} mask (regions and traps; the red zone cannot be
+    recovered after the fact). For tests and offline log analysis; the
+    oracle itself filters at record time. *)
+let mask_events t evs =
+  Array.of_list
+    (List.filter
+       (fun ev -> not (declared t ~sp:min_int ev))
+       (Array.to_list evs))
+
+(** [run_checks t ~profile ~mem] runs every post-run check; the result is
+    the first failure, tagged with its check's name. *)
+let run_checks t ~profile ~mem =
+  List.fold_left
+    (fun acc ck ->
+      match acc with
+      | Error _ -> acc
+      | Ok () -> (
+          match ck.ck_run ~profile ~mem with
+          | Ok () -> Ok ()
+          | Error msg -> Error (Printf.sprintf "check %s: %s" ck.ck_name msg)))
+    (Ok ()) t.ct_checks
+
+let pp_region fmt r =
+  Format.fprintf fmt "%s [0x%x, 0x%x)" r.rg_name r.rg_lo r.rg_hi
+
+let pp fmt t =
+  Format.fprintf fmt "contract %s:" t.ct_tool;
+  List.iter (fun r -> Format.fprintf fmt " %a;" pp_region r) t.ct_regions;
+  if t.ct_red_zone > 0 then
+    Format.fprintf fmt " red-zone %d;" t.ct_red_zone;
+  List.iter (fun n -> Format.fprintf fmt " trap %d;" n) t.ct_traps;
+  if t.ct_addr_norm <> None then Format.fprintf fmt " addr-norm;";
+  List.iter (fun c -> Format.fprintf fmt " check %s;" c.ck_name) t.ct_checks

@@ -32,9 +32,11 @@ module Instr = Eel_arch.Instr
 
 type t = {
   edited : Eel_sef.Sef.t;
+  exec : E.t;  (** the analyzed executable (address maps, CFG anchors) *)
   miss_counter : int;  (** address of the miss-count word *)
   ref_counter : int;  (** address of the tested-reference count word *)
   state_table : int;
+  mbox : int;  (** handler argument mailbox *)
   instrumented : int;
   skipped_uneditable : int;
   cc_live_sites : int;  (** sites that needed the cc-preserving sequence *)
@@ -199,9 +201,11 @@ let instrument ?(cc_optimization = true) mach exe =
   drain ();
   {
     edited = E.to_edited_sef t ();
+    exec = t;
     miss_counter;
     ref_counter;
     state_table;
+    mbox;
     instrumented = !instrumented;
     skipped_uneditable = !skipped;
     cc_live_sites = !cc_live_sites;
@@ -210,3 +214,42 @@ let instrument ?(cc_optimization = true) mach exe =
 let misses t mem = Eel_util.Bytebuf.get32_be mem t.miss_counter
 
 let refs t mem = Eel_util.Bytebuf.get32_be mem t.ref_counter
+
+(** The tool's edit contract: the simulated cache's whole state (presence
+    bitmap, miss/reference counters, handler mailbox) lives in declared
+    added-data regions; test snippets may spill into the red zone. The
+    post-run promise is bounded rather than exact — entry/exit-kind blocks
+    and uneditable sites are skipped by design, so the reference counter is
+    at most (and with zero skips, exactly) the original run's dynamic
+    memory-instruction count, and misses can never exceed references. *)
+let contract (p : t) =
+  let regions =
+    [
+      Eel_equiv.Contract.region ~name:"am state table" ~lo:p.state_table
+        ~size:table_size;
+      Eel_equiv.Contract.region ~name:"am miss counter" ~lo:p.miss_counter
+        ~size:4;
+      Eel_equiv.Contract.region ~name:"am ref counter" ~lo:p.ref_counter
+        ~size:4;
+      Eel_equiv.Contract.region ~name:"am mailbox" ~lo:p.mbox ~size:4;
+    ]
+  in
+  let check =
+    {
+      Eel_equiv.Contract.ck_name = "refs-bounded-by-profile";
+      ck_run =
+        (fun ~profile ~mem ->
+          let r = refs p mem and m = misses p mem in
+          let truth = Eel_emu.Emu.mem_ops profile in
+          if r > truth then
+            Error
+              (Printf.sprintf
+                 "counted %d references but only %d memory instructions ran"
+                 r truth)
+          else if m > r then
+            Error (Printf.sprintf "%d misses exceed %d references" m r)
+          else Ok ());
+    }
+  in
+  Eel_equiv.Contract.make "amemory" ~regions
+    ~red_zone:Eel.Snippet.red_zone ~checks:[ check ]

@@ -30,6 +30,9 @@ type t = {
   counters : (int * int) list;  (** counter address, original branch pc *)
   objects : int;  (** rough count of allocations, for experiment E8 *)
   blocks_seen : int;  (** "old-style" basic-block count, for E4 *)
+  rev_map : (int, int) Hashtbl.t;
+      (** edited instruction address -> original address, for the
+          equivalence oracle's code-pointer normalization *)
 }
 
 let counter_words counter_addr =
@@ -129,9 +132,11 @@ let instrument (exe : Sef.t) =
   (* pass 2: emit *)
   let out = Bytes.make (4 * !cursor) '\000' in
   let emit idx w = Eel_util.Bytebuf.set32_be out (4 * idx) w in
+  let rev_map = Hashtbl.create n in
   for i = 0 to n - 1 do
     let old_pc = text_lo + (4 * i) in
     let new_pc = new_text_base + (4 * insn_pos.(i)) in
+    Hashtbl.replace rev_map new_pc old_pc;
     (if instrument_here i then (
        let caddr = !data_cursor in
        data_cursor := !data_cursor + 4;
@@ -212,4 +217,48 @@ let instrument (exe : Sef.t) =
     counters = List.rev !counters;
     objects = !objects;
     blocks_seen = !blocks_seen;
+    rev_map;
   }
+
+(** Normalizer for the equivalence oracle: edited code addresses map back
+    to their original ones (a spilled return address observes the edited
+    pc), everything else passes through. *)
+let inverse_address_norm (t : t) v =
+  match Hashtbl.find_opt t.rev_map v with Some orig -> orig | None -> v
+
+(** The tool's edit contract. oldqpt uses fixed scavenged registers
+    (%g6/%g7) and never spills, so there is no red zone to declare — its
+    only declared side effect is the counter stores. The promise is exact:
+    each counter was placed before one non-delay-slot branch and must equal
+    that branch pc's execution count in the ground-truth profile. When the
+    ad-hoc rewriting goes wrong (the §1 failure modes this baseline
+    exists to demonstrate), the oracle reports it. *)
+let contract (t : t) =
+  let regions =
+    Option.to_list
+      (Eel_equiv.Contract.span ~name:"oldqpt counters"
+         (List.map fst t.counters))
+  in
+  let check =
+    {
+      Eel_equiv.Contract.ck_name = "counters-match-profile";
+      ck_run =
+        (fun ~profile ~mem ->
+          List.fold_left
+            (fun acc (caddr, branch_pc) ->
+              match acc with
+              | Error _ -> acc
+              | Ok () ->
+                  let v = Eel_util.Bytebuf.get32_be mem caddr in
+                  let truth = Eel_emu.Emu.pc_count profile branch_pc in
+                  if v = truth then Ok ()
+                  else
+                    Error
+                      (Printf.sprintf
+                         "counter for branch 0x%x reads %d, branch executed \
+                          %d times"
+                         branch_pc v truth))
+            (Ok ()) t.counters);
+    }
+  in
+  Eel_equiv.Contract.make "oldqpt" ~regions ~checks:[ check ]

@@ -349,3 +349,82 @@ let edge_counts (p : t) (mem : Bytes.t) =
       in
       (rp.rp_name, profile))
     p.routines
+
+(* ------------------------------------------------------------------ *)
+(* Edit contract                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(** The tool's edit contract: counter stores land in the span of reserved
+    counter words (plus snippet spill slots in the red zone), and the
+    {e reconstructed} edge profile must agree with emulator ground truth —
+    for every fully-profiled multi-successor block of a non-naive routine,
+    the out-edge counts sum to exactly the execution count of the block's
+    terminating branch. This validates the whole spanning-tree pipeline:
+    placement, the counters themselves, and flow-conservation
+    reconstruction. *)
+let contract (p : t) =
+  let counter_addrs =
+    List.concat_map
+      (fun rp -> List.filter_map (fun re -> re.re_counter) rp.rp_edges)
+      p.routines
+  in
+  let regions =
+    Option.to_list
+      (Eel_equiv.Contract.span ~name:"optprof counters" counter_addrs)
+  in
+  let check_routine profile rname edges =
+    (* group reconstructed counts by source block *)
+    let by_src = Hashtbl.create 32 in
+    List.iter
+      (fun ((e : C.edge), v) ->
+        let b = e.C.esrc in
+        let n, sum =
+          Option.value ~default:(0, 0) (Hashtbl.find_opt by_src b.C.bid)
+        in
+        Hashtbl.replace by_src b.C.bid (n + 1, sum + v))
+      edges;
+    List.fold_left
+      (fun acc ((e : C.edge), _) ->
+        match acc with
+        | Error _ -> acc
+        | Ok () -> (
+            let b = e.C.esrc in
+            match (Hashtbl.find_opt by_src b.C.bid, C.term_instr b) with
+            | Some (n, sum), Some (site_pc, _)
+              when List.length b.C.succs > 1 && n = List.length b.C.succs ->
+                let truth = Eel_emu.Emu.pc_count profile site_pc in
+                if sum = truth then Ok ()
+                else
+                  Error
+                    (Printf.sprintf
+                       "%s block %d: reconstructed out-edges sum to %d, \
+                        branch at 0x%x executed %d times"
+                       rname b.C.bid sum site_pc truth)
+            | _ -> Ok ()))
+      (Ok ()) edges
+  in
+  let check =
+    {
+      Eel_equiv.Contract.ck_name = "reconstruction-matches-profile";
+      ck_run =
+        (fun ~profile ~mem ->
+          match edge_counts p mem with
+          | exception Underdetermined what ->
+              Error ("reconstruction underdetermined: " ^ what)
+          | per_routine ->
+              let naive rname =
+                List.exists
+                  (fun rp -> rp.rp_name = rname && rp.rp_naive)
+                  p.routines
+              in
+              List.fold_left
+                (fun acc (rname, edges) ->
+                  match acc with
+                  | Error _ -> acc
+                  | Ok () when naive rname -> Ok ()
+                  | Ok () -> check_routine profile rname edges)
+                (Ok ()) per_routine);
+    }
+  in
+  Eel_equiv.Contract.make "optprof" ~regions ~red_zone:Eel.Snippet.red_zone
+    ~checks:[ check ]

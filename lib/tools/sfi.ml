@@ -21,6 +21,7 @@ open Eel_sparc
 
 type t = {
   edited : Eel_sef.Sef.t;
+  exec : E.t;  (** the analyzed executable (address maps, CFG anchors) *)
   seg_base : int;
   seg_size : int;
   guarded : int;  (** stores rewritten *)
@@ -92,8 +93,24 @@ let instrument mach exe ~seg_base ~seg_size =
   drain ();
   {
     edited = E.to_edited_sef t ();
+    exec = t;
     seg_base;
     seg_size;
     guarded = !guarded;
     skipped_uneditable = !skipped;
   }
+
+(** [clamp t addr] — the sandbox transfer function the rewritten stores
+    apply: [addr' = (addr & (size-1)) | base]. *)
+let clamp (t : t) addr = addr land (t.seg_size - 1) lor t.seg_base
+
+(** The tool's edit contract: SFI adds no bookkeeping state of its own —
+    its observable effect is that {e every} program store address passes
+    through {!clamp} (declared as the contract's [addr_norm], applied to
+    the original run's stores before comparison), plus possible snippet
+    spills in the red zone. With a sandbox segment covering the whole
+    image, the clamp is the identity and the edited program must be
+    store-for-store identical to the original. *)
+let contract (t : t) =
+  Eel_equiv.Contract.make "sfi" ~red_zone:Snippet.red_zone
+    ~addr_norm:(clamp t)

@@ -1,0 +1,87 @@
+(** Toolbox — one door to every tool in lib/tools, for the equivalence
+    oracle's drivers.
+
+    [eel_diff --tool NAME], [eel_fuzz --diff --tool NAME], the benchmark
+    harness and the tests all need the same four things from a tool: the
+    edited image, the tool's {!Eel_equiv.Contract}, a value normalizer
+    mapping edited code addresses back to original ones, and a CFG anchor
+    for divergence reports. {!apply} packages them uniformly so a driver
+    can iterate tools by name. *)
+
+module E = Eel.Executable
+module Contract = Eel_equiv.Contract
+
+type applied = {
+  ap_tool : string;
+  ap_edited : Eel_sef.Sef.t;
+  ap_contract : Contract.t;
+  ap_norm_b : int -> int;  (** edited-side value normalizer *)
+  ap_block_of : int -> (string * int) option;
+  ap_sites : int;  (** instrumentation sites placed, for reporting *)
+}
+
+(** Tool names {!apply} accepts, in presentation order. *)
+let names = [ "qpt2"; "oldqpt"; "tracer"; "sfi"; "amemory"; "optprof" ]
+
+let of_exec tool (exec : E.t) edited contract sites =
+  {
+    ap_tool = tool;
+    ap_edited = edited;
+    ap_contract = contract;
+    ap_norm_b = E.inverse_address_norm exec;
+    ap_block_of = (fun a -> E.block_of_addr exec a);
+    ap_sites = sites;
+  }
+
+(** [apply name mach exe] instruments [exe] with the named tool and
+    packages the result for the oracle. [Error _] is reserved for unknown
+    tool names; tool failures propagate as the front end's structured
+    exceptions (callers run under {!Eel_robust.Diag.guard}).
+
+    [sfi_base]/[sfi_size] configure SFI's sandbox; the default segment
+    ([0, 64 MiB)) covers every address the emulator can reach in an oracle
+    run, making the clamp the identity — the right configuration for
+    equivalence checking, where the question is "does sandboxing change
+    anything it should not?". *)
+let apply ?(sfi_base = 0) ?(sfi_size = 1 lsl 26) name mach exe :
+    (applied, string) result =
+  match name with
+  | "qpt2" ->
+      let p = Qpt2.instrument mach exe in
+      Ok
+        (of_exec "qpt2" p.Qpt2.exec p.Qpt2.edited (Qpt2.contract p)
+           (List.length p.Qpt2.counters))
+  | "oldqpt" ->
+      let p = Oldqpt.instrument exe in
+      Ok
+        {
+          ap_tool = "oldqpt";
+          ap_edited = p.Oldqpt.edited;
+          ap_contract = Oldqpt.contract p;
+          ap_norm_b = Oldqpt.inverse_address_norm p;
+          ap_block_of = (fun _ -> None);
+          ap_sites = List.length p.Oldqpt.counters;
+        }
+  | "tracer" ->
+      let p = Tracer.instrument mach exe in
+      Ok
+        (of_exec "tracer" p.Tracer.exec p.Tracer.edited (Tracer.contract p)
+           p.Tracer.instrumented)
+  | "sfi" ->
+      let p = Sfi.instrument mach exe ~seg_base:sfi_base ~seg_size:sfi_size in
+      Ok
+        (of_exec "sfi" p.Sfi.exec p.Sfi.edited (Sfi.contract p) p.Sfi.guarded)
+  | "amemory" ->
+      let p = Amemory.instrument mach exe in
+      Ok
+        (of_exec "amemory" p.Amemory.exec p.Amemory.edited
+           (Amemory.contract p) p.Amemory.instrumented)
+  | "optprof" ->
+      let p = Optprof.instrument mach exe in
+      Ok
+        (of_exec "optprof" p.Optprof.exec p.Optprof.edited
+           (Optprof.contract p) p.Optprof.n_counters)
+  | _ ->
+      Error
+        (Printf.sprintf "unknown tool %s (expected one of: %s)" name
+           (String.concat ", " names))

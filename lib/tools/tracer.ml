@@ -15,6 +15,7 @@ module Instr = Eel_arch.Instr
 
 type t = {
   edited : Eel_sef.Sef.t;
+  exec : E.t;  (** the analyzed executable (address maps, CFG anchors) *)
   buf_addr : int;  (** trace buffer base *)
   buf_size : int;
   ptr_addr : int;  (** bump pointer (byte offset within the buffer) *)
@@ -85,6 +86,7 @@ let instrument ?(buf_size = 1 lsl 20) mach exe =
   drain ();
   {
     edited = E.to_edited_sef t ();
+    exec = t;
     buf_addr;
     buf_size;
     ptr_addr;
@@ -96,3 +98,42 @@ let instrument ?(buf_size = 1 lsl 20) mach exe =
 let trace (tr : t) (mem : Bytes.t) =
   let n = Eel_util.Bytebuf.get32_be mem tr.ptr_addr / 4 in
   List.init n (fun k -> Eel_util.Bytebuf.get32_be mem (tr.buf_addr + (4 * k)))
+
+(** The tool's edit contract: stores land in the trace buffer and its bump
+    pointer (plus snippet spill slots); when every memory reference was
+    instrumented and the buffer did not wrap, the number of recorded
+    entries must equal the original run's dynamic memory-instruction
+    count. *)
+let contract (tr : t) =
+  let regions =
+    [
+      Eel_equiv.Contract.region ~name:"trace buffer" ~lo:tr.buf_addr
+        ~size:tr.buf_size;
+      Eel_equiv.Contract.region ~name:"trace pointer" ~lo:tr.ptr_addr ~size:4;
+    ]
+  in
+  let check =
+    {
+      Eel_equiv.Contract.ck_name = "trace-length-matches-profile";
+      ck_run =
+        (fun ~profile ~mem ->
+          let entries = Eel_util.Bytebuf.get32_be mem tr.ptr_addr / 4 in
+          let truth = Eel_emu.Emu.mem_ops profile in
+          if tr.skipped_uneditable = 0 && 4 * truth < tr.buf_size then
+            if entries = truth then Ok ()
+            else
+              Error
+                (Printf.sprintf
+                   "trace has %d entries, original run executed %d memory \
+                    instructions"
+                   entries truth)
+          else if entries <= truth then Ok ()
+          else
+            Error
+              (Printf.sprintf
+                 "trace has %d entries but only %d memory instructions ran"
+                 entries truth));
+    }
+  in
+  Eel_equiv.Contract.make "tracer" ~regions ~red_zone:Snippet.red_zone
+    ~checks:[ check ]

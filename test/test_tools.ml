@@ -434,6 +434,32 @@ let test_optprof_workloads () =
   check_optimal_against_full (workload ~routines:10 ~seed:14 ());
   check_optimal_against_full (workload ~style:Eel_workload.Gen.Sunpro ~routines:10 ~seed:15 ())
 
+let test_optprof_under_contract_oracle () =
+  (* the sparse Ball-Larus edit holds up under the equivalence oracle: the
+     edited image is event-equivalent modulo the declared counter span, and
+     the reconstruction check validates against the ground-truth profile *)
+  let exe = workload ~routines:8 ~seed:21 () in
+  let ap =
+    match Eel_tools.Toolbox.apply "optprof" mach exe with
+    | Ok ap -> ap
+    | Error m -> Alcotest.failf "toolbox: %s" m
+  in
+  match
+    Eel_diffexec.Diffexec.verify_edit ~norm_b:ap.Eel_tools.Toolbox.ap_norm_b
+      ~block_of:ap.Eel_tools.Toolbox.ap_block_of
+      ~contract:ap.Eel_tools.Toolbox.ap_contract exe
+      ap.Eel_tools.Toolbox.ap_edited
+  with
+  | Error e ->
+      Alcotest.failf "oracle: %s" (Eel_robust.Diag.error_message e)
+  | Ok er ->
+      Alcotest.(check string)
+        "verdict" "equivalent"
+        (Eel_diffexec.Diffexec.verdict_name
+           er.Eel_diffexec.Diffexec.er_report.Eel_diffexec.Diffexec.rp_verdict);
+      Alcotest.(check bool) "counter traffic masked" true
+        (er.Eel_diffexec.Diffexec.er_masked > 0)
+
 let () =
   Alcotest.run "tools"
     (main_suites
@@ -443,5 +469,7 @@ let () =
             Alcotest.test_case "loop placement" `Quick test_optprof_loop;
             Alcotest.test_case "matches full profile" `Quick
               test_optprof_workloads;
+            Alcotest.test_case "holds under the contract oracle" `Quick
+              test_optprof_under_contract_oracle;
           ] );
       ])
