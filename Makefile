@@ -2,7 +2,7 @@
 # build everything, run the test suites, the never-crash fuzz corpus, and
 # the observability trace smoke test.
 
-.PHONY: all build test fuzz diff-smoke equiv-smoke trace-smoke check clean
+.PHONY: all build test fuzz diff-smoke equiv-smoke trace-smoke perf perf-smoke check clean
 
 all: build
 
@@ -34,6 +34,18 @@ trace-smoke:
 	./_build/default/bin/workload_gen.exe --seed 7 --routines 8 -o _build/smoke.sef
 	./_build/default/bin/eel_run.exe --trace _build/smoke-trace.json --metrics _build/smoke.sef 2> /dev/null
 	./_build/default/bin/trace_check.exe _build/smoke-trace.json
+
+# Performance trajectory: the predecode + multicore fan-out experiment,
+# persisted to BENCH_perf.json at the repo root (methodology in
+# EXPERIMENTS.md). perf-smoke is the tiny-budget CI variant: it fails if
+# the predecoded path is ever slower than decode-per-step.
+perf:
+	dune build bench/main.exe
+	./_build/default/bench/main.exe perf
+
+perf-smoke:
+	dune build bench/main.exe
+	EEL_PERF_BUDGET=smoke ./_build/default/bench/main.exe perf
 
 check:
 	dune build && dune runtest && dune build @fuzz && dune build @diff && dune build @equiv && $(MAKE) trace-smoke

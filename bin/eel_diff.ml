@@ -103,29 +103,38 @@ let () =
     if !tool = "" then run_identity ~fuel:!fuel
     else run_tool ~fuel:!fuel ~tool:!tool
   in
+  (* fan the per-program verifications across domains; results come back in
+     program order, and all counting/printing happens serially after the
+     join, so the output is byte-identical whatever EEL_JOBS says. Tracing
+     forces a serial run: worker domains have no ambient tracer and their
+     spans would be lost. *)
+  let jobs = if tracer <> None then Some 1 else None in
+  let results =
+    Eel_util.Pool.map_list ?jobs
+      (fun (name, img) ->
+        let outcome =
+          match img with Error e -> O_error e | Ok exe -> oracle exe
+        in
+        (name, outcome))
+      programs
+  in
   let equivalent = ref 0
   and truncated = ref 0
   and diverged = ref 0
   and violations = ref 0
   and errors = ref 0 in
+  List.iter
+    (fun (_, outcome) ->
+      match outcome with
+      | O_error _ -> incr errors
+      | O_report (rp, _) -> (
+          match rp.Diffexec.rp_verdict with
+          | Diffexec.Equivalent -> incr equivalent
+          | Diffexec.Fuel_truncated_equal -> incr truncated
+          | Diffexec.Contract_violation -> incr violations
+          | Diffexec.Both_fault | Diffexec.Diverged _ -> incr diverged))
+    results;
   let json_rows = Buffer.create 1024 in
-  let results =
-    List.map
-      (fun (name, img) ->
-        let outcome =
-          match img with Error e -> O_error e | Ok exe -> oracle exe
-        in
-        (match outcome with
-        | O_error _ -> incr errors
-        | O_report (rp, _) -> (
-            match rp.Diffexec.rp_verdict with
-            | Diffexec.Equivalent -> incr equivalent
-            | Diffexec.Fuel_truncated_equal -> incr truncated
-            | Diffexec.Contract_violation -> incr violations
-            | Diffexec.Both_fault | Diffexec.Diverged _ -> incr diverged));
-        (name, outcome))
-      programs
-  in
   if !json then (
     List.iter
       (fun (name, outcome) ->

@@ -182,36 +182,48 @@ let () =
     Printf.eprintf "eel_fuzz: unknown tool %s (expected one of: %s)\n" !tool
       (String.concat ", " Toolbox.names);
     exit 2);
+  let jobs = if tracer <> None then Some 1 else None in
   if !diff then (
     let crashed = ref 0 in
+    (* run the oracle, returning any crash as data: the blind pass runs in
+       pool workers, which must not mutate shared counters or print *)
     let signature i kind bytes =
-      ignore i;
-      ignore kind;
-      try diff_signature ~fuel:!fuel ~tool:!tool bytes with
-      | Stack_overflow ->
-          incr crashed;
-          "crash"
+      try (diff_signature ~fuel:!fuel ~tool:!tool bytes, None) with
+      | Stack_overflow -> ("crash", Some "")
       | exn ->
+          ( "crash",
+            Some
+              (Printf.sprintf "%4d %-22s CRASH: %s\n%s\n" i (Mutate.name kind)
+                 (Printexc.to_string exn)
+                 (Printexc.get_backtrace ())) )
+    in
+    let absorb_crash = function
+      | None -> ()
+      | Some msg ->
           incr crashed;
-          Printf.printf "%4d %-22s CRASH: %s\n%s\n" i (Mutate.name kind)
-            (Printexc.to_string exn)
-            (Printexc.get_backtrace ());
-          "crash"
+          if msg <> "" then print_string msg
     in
     (* pass 1: the blind schedule — Mutate.corpus's class cycle, signatures
-       collected but no scheduling feedback *)
+       collected but no scheduling feedback. Mutants are independent and the
+       signature {e set} is order-blind, so this pass fans out across
+       domains; crash accounting happens serially after the join. *)
     let blind_sigs = Hashtbl.create 64 in
     List.iter
-      (fun (i, kind, bytes) ->
-        Hashtbl.replace blind_sigs (signature i kind bytes) ())
-      (Mutate.corpus ~seed:!seed ~count:!count base);
+      (fun (s, crash) ->
+        absorb_crash crash;
+        Hashtbl.replace blind_sigs s ())
+      (Eel_util.Pool.map_list ?jobs
+         (fun (i, kind, bytes) -> signature i kind bytes)
+         (Mutate.corpus ~seed:!seed ~count:!count base));
     (* pass 2: coverage-guided — same seed, same budget, class picked per
-       round by discovery rate *)
+       round by discovery rate. Inherently serial: each round's class choice
+       depends on every earlier round's discoveries. *)
     let sched = Sched.create () in
     ignore
       (Sched.guided sched ~seed:!seed ~count:!count base
          ~run:(fun i kind bytes ->
-           let s = signature i kind bytes in
+           let s, crash = signature i kind bytes in
+           absorb_crash crash;
            let kname = Mutate.name kind in
            List.iter
              (fun slot -> Metrics.incr (class_counter kname slot))
@@ -254,14 +266,26 @@ let () =
     | None -> ());
     exit (if !crashed > 0 then 1 else 0));
   let corpus = Mutate.corpus ~seed:!seed ~count:!count base in
+  (* mutants are independent: the pipeline runs fan out across domains and
+     return outcomes in corpus order; counting, the per-class table and all
+     printing happen serially after the join, so output and metrics are
+     byte-identical whatever EEL_JOBS says *)
+  let outcomes =
+    Eel_util.Pool.map_list ?jobs
+      (fun (i, kind, bytes) ->
+        let kname = Mutate.name kind in
+        let o =
+          Trace.with_span (Printf.sprintf "mutant:%s" kname)
+            ~args:[ ("index", string_of_int i) ]
+            (fun () -> run_one bytes)
+        in
+        (i, kname, o))
+      corpus
+  in
   let ok = ref 0 and rejected = ref 0 and crashed = ref 0 in
   List.iter
-    (fun (i, kind, bytes) ->
-      let kname = Mutate.name kind in
-      Trace.with_span (Printf.sprintf "mutant:%s" kname)
-        ~args:[ ("index", string_of_int i) ]
-      @@ fun () ->
-      match run_one bytes with
+    (fun (i, kname, outcome) ->
+      match outcome with
       | Ok_load ndiag ->
           incr ok;
           Metrics.incr
@@ -277,7 +301,7 @@ let () =
       | Crashed msg ->
           incr crashed;
           Printf.printf "%4d %-22s CRASH: %s\n" i kname msg)
-    corpus;
+    outcomes;
   Printf.printf "eel_fuzz: %d mutants (seed %d): %d ok, %d rejected, %d crashed\n"
     (List.length corpus) !seed !ok !rejected !crashed;
   (* per-class outcome table, read back from the metrics registry *)

@@ -14,7 +14,7 @@ open Cmdliner
 module Trace = Eel_obs.Trace
 module Metrics = Eel_obs.Metrics
 
-let run path rtl itrace trace_file metrics fuel =
+let run path rtl itrace trace_file metrics fuel no_predecode =
   let observing = trace_file <> None || metrics in
   let tracer = if observing then Some (Trace.create ()) else None in
   Trace.set_current tracer;
@@ -45,7 +45,10 @@ let run path rtl itrace trace_file metrics fuel =
             | _ -> ())
         else None
       in
-      let r, _ = Eel_emu.Emu.run_exe ~fuel ?hook ?profile exe in
+      let r, _ =
+        Eel_emu.Emu.run_exe ~fuel ?hook ?profile ~predecode:(not no_predecode)
+          exe
+      in
       r
   in
   print_string result.Eel_emu.Emu.out;
@@ -59,8 +62,8 @@ let run path rtl itrace trace_file metrics fuel =
   if metrics then Format.eprintf "%a%!" Metrics.pp ();
   exit result.Eel_emu.Emu.exit_code
 
-let run path rtl itrace trace_file metrics fuel =
-  try run path rtl itrace trace_file metrics fuel with
+let run path rtl itrace trace_file metrics fuel no_predecode =
+  try run path rtl itrace trace_file metrics fuel no_predecode with
   | Eel_robust.Diag.Error e ->
       Printf.eprintf "eel_run: %s\n" (Eel_robust.Diag.error_message e);
       exit 1
@@ -88,8 +91,16 @@ let cmd =
   let fuel =
     Arg.(value & opt int 200_000_000 & info [ "fuel" ] ~doc:"instruction budget")
   in
+  let no_predecode =
+    Arg.(
+      value & flag
+      & info [ "no-predecode" ]
+          ~doc:"decode every dynamic instruction instead of predecoding the text segment at load")
+  in
   Cmd.v
     (Cmd.info "eel_run" ~doc:"run a SEF executable")
-    Term.(const run $ path $ rtl $ itrace $ trace_file $ metrics $ fuel)
+    Term.(
+      const run $ path $ rtl $ itrace $ trace_file $ metrics $ fuel
+      $ no_predecode)
 
 let () = exit (Cmd.eval cmd)

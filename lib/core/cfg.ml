@@ -191,7 +191,7 @@ let new_block bld ?(editable = true) ?addr kind instrs =
     }
   in
   bld.next_bid <- bld.next_bid + 1;
-  Stats.stats.blocks_alloc <- Stats.stats.blocks_alloc + 1;
+  (Stats.stats ()).blocks_alloc <- (Stats.stats ()).blocks_alloc + 1;
   Eel_util.Dyn.push bld.b_blocks b;
   b
 
@@ -200,7 +200,7 @@ let connect bld ?(editable = true) src dst ekind =
     { eid = bld.next_eid; esrc = src; edst = dst; ekind; e_editable = editable; e_edited = false }
   in
   bld.next_eid <- bld.next_eid + 1;
-  Stats.stats.edges_alloc <- Stats.stats.edges_alloc + 1;
+  (Stats.stats ()).edges_alloc <- (Stats.stats ()).edges_alloc + 1;
   src.succs <- src.succs @ [ e ];
   dst.preds <- e :: dst.preds;
   e
@@ -243,7 +243,7 @@ let build ?diag ?budget ~mach ~cache ~fetch ~lo ~hi ~entries ~tables () =
     { b_blocks = Eel_util.Dyn.create (); next_bid = 0; next_eid = 0; b_complete = true }
   in
   let exit_block = new_block bld ~editable:false Exit [||] in
-  Stats.stats.cfgs_built <- Stats.stats.cfgs_built + 1;
+  (Stats.stats ()).cfgs_built <- (Stats.stats ()).cfgs_built + 1;
   let instr_at a =
     if a < lo || a + 4 > hi then None
     else Option.map (Instr_cache.lift cache) (fetch a)

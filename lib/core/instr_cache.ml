@@ -19,18 +19,21 @@ type t = {
 let create ?(enabled = true) mach = { mach; table = Hashtbl.create 1024; enabled }
 
 (** [lift c word] returns the (possibly shared) EEL instruction for a machine
-    word, updating the {!Stats} counters. *)
+    word, updating the {!Stats} counters. The hit path uses [Hashtbl.find]
+    with an exception handler rather than [find_opt], so a shared lookup
+    allocates nothing. *)
 let lift c word =
-  Stats.stats.instrs_lifted <- Stats.stats.instrs_lifted + 1;
+  let s = Stats.stats () in
+  s.instrs_lifted <- s.instrs_lifted + 1;
   if not c.enabled then (
-    Stats.stats.instrs_alloc <- Stats.stats.instrs_alloc + 1;
+    s.instrs_alloc <- s.instrs_alloc + 1;
     c.mach.Eel_arch.Machine.lift word)
   else
-    match Hashtbl.find_opt c.table word with
-    | Some i -> i
-    | None ->
+    match Hashtbl.find c.table word with
+    | i -> i
+    | exception Not_found ->
         let i = c.mach.Eel_arch.Machine.lift word in
-        Stats.stats.instrs_alloc <- Stats.stats.instrs_alloc + 1;
+        s.instrs_alloc <- s.instrs_alloc + 1;
         Hashtbl.add c.table word i;
         i
 

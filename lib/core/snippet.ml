@@ -43,12 +43,12 @@ let of_asm (mach : Machine.t) ?(params = []) ?(forbid = Regset.empty) ?callback
   match mach.Machine.asm ~params body with
   | Error m -> raise (Snippet_error m)
   | Ok sn_template ->
-      Stats.stats.snippets_alloc <- Stats.stats.snippets_alloc + 1;
+      (Stats.stats ()).snippets_alloc <- (Stats.stats ()).snippets_alloc + 1;
       { sn_template; sn_forbid = forbid; sn_callback = callback }
 
 (** [of_words words] wraps raw machine words (no virtual registers). *)
 let of_words ?(forbid = Regset.empty) ?callback words =
-  Stats.stats.snippets_alloc <- Stats.stats.snippets_alloc + 1;
+  (Stats.stats ()).snippets_alloc <- (Stats.stats ()).snippets_alloc + 1;
   { sn_template = Template.of_words words; sn_forbid = forbid; sn_callback = callback }
 
 let length s = Template.length s.sn_template

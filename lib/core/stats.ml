@@ -6,11 +6,17 @@
     factor of four (§3.4). These counters make both measurements
     reproducible (experiments E5 and E8).
 
-    The mutable {!stats} record is the hot-path representation (a plain int
-    store per event); consumers should read through the pure {!snapshot}
-    instead of aliasing the record. Every field is also visible in the
-    {!Eel_obs.Metrics} registry under [eel.stats.*] as a callback gauge, so
-    tools and the benchmark harness see one metrics namespace. *)
+    The mutable record behind {!stats} is the hot-path representation (a
+    plain int store per event); consumers should read through the pure
+    {!snapshot} instead of aliasing the record. Every field is also visible
+    in the {!Eel_obs.Metrics} registry under [eel.stats.*] as a callback
+    gauge, so tools and the benchmark harness see one metrics namespace.
+
+    The record is {e domain-local}: each domain increments its own copy,
+    so analysis jobs fanned out through {!Eel_util.Pool} never race on the
+    counters. At pool join the workers' deltas are summed into the
+    caller's record (the join hook below), so the totals a driver reads
+    after a parallel sweep equal the serial run's. *)
 
 type t = {
   mutable instrs_lifted : int;  (** total machine words lifted *)
@@ -21,7 +27,7 @@ type t = {
   mutable cfgs_built : int;
 }
 
-let stats =
+let fresh () =
   {
     instrs_lifted = 0;
     instrs_alloc = 0;
@@ -31,17 +37,24 @@ let stats =
     cfgs_built = 0;
   }
 
+let stats_key : t Domain.DLS.key = Domain.DLS.new_key fresh
+
+(** The calling domain's counter record. Increment its fields directly on
+    hot paths; never cache it across a {!Eel_util.Pool} boundary. *)
+let stats () = Domain.DLS.get stats_key
+
 let reset () =
-  stats.instrs_lifted <- 0;
-  stats.instrs_alloc <- 0;
-  stats.blocks_alloc <- 0;
-  stats.edges_alloc <- 0;
-  stats.snippets_alloc <- 0;
-  stats.cfgs_built <- 0
+  let s = stats () in
+  s.instrs_lifted <- 0;
+  s.instrs_alloc <- 0;
+  s.blocks_alloc <- 0;
+  s.edges_alloc <- 0;
+  s.snippets_alloc <- 0;
+  s.cfgs_built <- 0
 
 (** A pure copy of the counters at the moment of the call. Tools should use
-    this rather than reading the shared mutable {!stats} record, whose
-    fields can move under them as analysis proceeds. *)
+    this rather than reading the shared mutable record, whose fields can
+    move under them as analysis proceeds. *)
 type snapshot = {
   s_instrs_lifted : int;
   s_instrs_alloc : int;
@@ -52,13 +65,14 @@ type snapshot = {
 }
 
 let snapshot () =
+  let s = stats () in
   {
-    s_instrs_lifted = stats.instrs_lifted;
-    s_instrs_alloc = stats.instrs_alloc;
-    s_blocks_alloc = stats.blocks_alloc;
-    s_edges_alloc = stats.edges_alloc;
-    s_snippets_alloc = stats.snippets_alloc;
-    s_cfgs_built = stats.cfgs_built;
+    s_instrs_lifted = s.instrs_lifted;
+    s_instrs_alloc = s.instrs_alloc;
+    s_blocks_alloc = s.blocks_alloc;
+    s_edges_alloc = s.edges_alloc;
+    s_snippets_alloc = s.snippets_alloc;
+    s_cfgs_built = s.cfgs_built;
   }
 
 (** Total EEL objects allocated since the last {!reset}.
@@ -71,14 +85,15 @@ let snapshot () =
     contribute; [cfgs_built] is likewise a work counter, not an object
     population. *)
 let total_objects () =
-  stats.instrs_alloc + stats.blocks_alloc + stats.edges_alloc
-  + stats.snippets_alloc
+  let s = stats () in
+  s.instrs_alloc + s.blocks_alloc + s.edges_alloc + s.snippets_alloc
 
 let pp fmt () =
+  let s = stats () in
   Format.fprintf fmt
     "instrs lifted=%d allocated=%d blocks=%d edges=%d snippets=%d cfgs=%d"
-    stats.instrs_lifted stats.instrs_alloc stats.blocks_alloc stats.edges_alloc
-    stats.snippets_alloc stats.cfgs_built
+    s.instrs_lifted s.instrs_alloc s.blocks_alloc s.edges_alloc
+    s.snippets_alloc s.cfgs_built
 
 (* Absorb the record into the metrics registry: callback gauges read the
    live counters at snapshot time, so the increment paths stay plain int
@@ -88,10 +103,25 @@ let () =
     Eel_obs.Metrics.gauge_fn ("eel.stats." ^ name) (fun () ->
         float_of_int (read ()))
   in
-  reg "instrs_lifted" (fun () -> stats.instrs_lifted);
-  reg "instrs_alloc" (fun () -> stats.instrs_alloc);
-  reg "blocks_alloc" (fun () -> stats.blocks_alloc);
-  reg "edges_alloc" (fun () -> stats.edges_alloc);
-  reg "snippets_alloc" (fun () -> stats.snippets_alloc);
-  reg "cfgs_built" (fun () -> stats.cfgs_built);
+  reg "instrs_lifted" (fun () -> (stats ()).instrs_lifted);
+  reg "instrs_alloc" (fun () -> (stats ()).instrs_alloc);
+  reg "blocks_alloc" (fun () -> (stats ()).blocks_alloc);
+  reg "edges_alloc" (fun () -> (stats ()).edges_alloc);
+  reg "snippets_alloc" (fun () -> (stats ()).snippets_alloc);
+  reg "cfgs_built" (fun () -> (stats ()).cfgs_built);
   reg "total_objects" (fun () -> total_objects ())
+
+(* Pool workers start from a zeroed record, so the capture below is the
+   worker's delta; summing it into the caller's record reproduces the
+   serial totals. *)
+let () =
+  Eel_util.Pool.on_join (fun () ->
+      let d = snapshot () in
+      fun () ->
+        let s = stats () in
+        s.instrs_lifted <- s.instrs_lifted + d.s_instrs_lifted;
+        s.instrs_alloc <- s.instrs_alloc + d.s_instrs_alloc;
+        s.blocks_alloc <- s.blocks_alloc + d.s_blocks_alloc;
+        s.edges_alloc <- s.edges_alloc + d.s_edges_alloc;
+        s.snippets_alloc <- s.snippets_alloc + d.s_snippets_alloc;
+        s.cfgs_built <- s.cfgs_built + d.s_cfgs_built)

@@ -95,9 +95,9 @@ type run = {
     machine (the contract oracle masks an edit's declared side effects
     there, where the stack pointer is still known). *)
 let execute ?(fuel = default_fuel) ?limit ?headroom ?(profile = false) ?filter
-    (exe : Sef.t) : (run, Diag.error) result =
+    ?predecode (exe : Sef.t) : (run, Diag.error) result =
   match
-    try Ok (Emu.load ?headroom exe)
+    try Ok (Emu.load ?headroom ?predecode exe)
     with Emu.Fault m -> Error (Diag.Exe_error { what = "emulator load: " ^ m })
   with
   | Error e -> Error e

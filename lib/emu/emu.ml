@@ -233,6 +233,13 @@ type t = {
   mutable profile : profile option;
   mutable text_lo : int;
   mutable text_hi : int;
+  code : Insn.t array;
+      (** predecoded text segment, indexed by [(pc - code_lo) / 4]; [[||]]
+          when predecoding is off (or the text geometry ruled it out).
+          Kept coherent with [mem] by {!store_mem}: any store landing in
+          the covered range re-decodes its word, so self-modifying code
+          behaves exactly as the decode-per-step path. *)
+  code_lo : int;  (** base address of [code]; meaningless when empty *)
 }
 
 (** Default extra space above the loaded image: heap + stack. *)
@@ -245,12 +252,25 @@ let stack_size = 1024 * 1024
     into a multi-gigabyte allocation). *)
 let max_image_bytes = 1024 * 1024 * 1024
 
-(** [load ?headroom exe] builds a machine state with [exe]'s sections copied
-    into a flat memory image, the stack pointer at the top of memory, and
-    pc at the entry point. Raises {!Fault} when the image cannot be built:
-    sections with negative geometry, contents shorter than the declared
-    size, or an address space larger than {!max_image_bytes}. *)
-let load ?(headroom = default_headroom) (exe : Eel_sef.Sef.t) =
+(** Refuse to predecode text segments wider than this many words (16 MB of
+    text). Hostile SEF geometry — a tiny text section at a huge vaddr next
+    to one at a low vaddr — must not drive [Array.init] into a giant
+    allocation; past the cap the emulator silently falls back to
+    decode-per-step, which is always correct. *)
+let max_predecode_words = 4 * 1024 * 1024
+
+(** [load ?headroom ?predecode exe] builds a machine state with [exe]'s
+    sections copied into a flat memory image, the stack pointer at the top
+    of memory, and pc at the entry point. Raises {!Fault} when the image
+    cannot be built: sections with negative geometry, contents shorter than
+    the declared size, or an address space larger than {!max_image_bytes}.
+
+    With [predecode] (the default) the text segment is decoded once into a
+    dense instruction array so {!step} never calls [Insn.decode] on the hot
+    path; [~predecode:false] keeps the decode-per-step behaviour (the
+    benchmark harness measures one against the other). *)
+let load ?(headroom = default_headroom) ?(predecode = true)
+    (exe : Eel_sef.Sef.t) =
   let high = Eel_sef.Sef.high_addr exe in
   let size = high + headroom in
   if size < 0 || size > max_image_bytes then
@@ -278,6 +298,20 @@ let load ?(headroom = default_headroom) (exe : Eel_sef.Sef.t) =
             (fun a (s : Eel_sef.Sef.section) -> max a (s.vaddr + s.size))
             0 ss )
   in
+  let code =
+    (* predecode only clean geometry: word-aligned base, inside the image,
+       under the size cap; anything else falls back to decode-per-step *)
+    if
+      predecode && text_hi > text_lo
+      && text_lo land 3 = 0
+      && text_hi <= Bytes.length mem
+      && (text_hi - text_lo) / 4 <= max_predecode_words
+    then
+      Array.init
+        ((text_hi - text_lo) / 4)
+        (fun i -> Insn.decode (Eel_util.Bytebuf.get32_be mem (text_lo + (i * 4))))
+    else [||]
+  in
   {
     mem;
     regs;
@@ -295,6 +329,8 @@ let load ?(headroom = default_headroom) (exe : Eel_sef.Sef.t) =
     profile = None;
     text_lo;
     text_hi;
+    code;
+    code_lo = text_lo;
   }
 
 (** [set_obs t log] installs (or, with [None], removes) the observable-event
@@ -344,15 +380,25 @@ let load_mem t addr width ~signed =
   in
   if signed then W.mask (W.sext (width * 8) v) else v
 
+(* [check_addr] enforces natural alignment, so no store crosses a 4-byte
+   boundary: a store touches exactly the word containing [addr], and
+   re-decoding that one word keeps the predecoded array coherent. *)
+let invalidate_code t addr =
+  let idx = (addr - t.code_lo) asr 2 in
+  if idx >= 0 && idx < Array.length t.code then
+    let wa = t.code_lo + (idx lsl 2) in
+    t.code.(idx) <- Insn.decode (Eel_util.Bytebuf.get32_be t.mem wa)
+
 let store_mem t addr width v =
   check_addr t addr width;
-  match width with
+  (match width with
   | 1 -> Bytes.set t.mem addr (Char.chr (v land 0xFF))
   | 2 ->
       Bytes.set t.mem addr (Char.chr ((v lsr 8) land 0xFF));
       Bytes.set t.mem (addr + 1) (Char.chr (v land 0xFF))
   | 4 -> Eel_util.Bytebuf.set32_be t.mem addr (W.mask v)
-  | _ -> assert false
+  | _ -> assert false);
+  invalidate_code t addr
 
 (** {1 Condition codes} *)
 
@@ -407,18 +453,20 @@ let syscall t num =
 
 (** {1 Execution} *)
 
-(** Execute a single instruction (at [t.pc]). *)
-let step t =
-  let pc = t.pc in
-  if pc land 3 <> 0 then fault "misaligned pc 0x%x" pc;
-  if pc < 0 || pc + 4 > Bytes.length t.mem then fault "pc out of range 0x%x" pc;
-  let word = Eel_util.Bytebuf.get32_be t.mem pc in
-  (* construct the event only when a hook is installed: the event record
-     must not be allocated on the plain interpretation path *)
-  (match t.hook with None -> () | Some f -> f (Ev_exec { pc; word }));
-  t.ninsns <- t.ninsns + 1;
-  let insn = Insn.decode word in
-  (match t.profile with None -> () | Some p -> profile_step p ~pc insn);
+(* Fetch the instruction at [pc] (assumed word-aligned): a bounds-checked
+   array read off the predecoded text, falling back to decode-per-step for
+   addresses outside it (or when predecoding is off). The [unsafe_get] is
+   guarded by the [idx] range check on the line above. *)
+let fetch_insn t pc =
+  let idx = (pc - t.code_lo) asr 2 in
+  if idx >= 0 && idx < Array.length t.code then Array.unsafe_get t.code idx
+  else begin
+    if pc < 0 || pc + 4 > Bytes.length t.mem then fault "pc out of range 0x%x" pc;
+    Insn.decode (Eel_util.Bytebuf.get32_be t.mem pc)
+  end
+
+(* Execute a fetched instruction at [pc] and advance pc/npc. *)
+let exec_insn t pc insn =
   (* default successor state *)
   let next_pc = ref t.npc in
   let next_npc = ref (t.npc + 4) in
@@ -557,6 +605,33 @@ let step t =
   t.pc <- !next_pc;
   t.npc <- !next_npc
 
+(** Execute a single instruction (at [t.pc]). *)
+let step t =
+  let pc = t.pc in
+  if pc land 3 <> 0 then fault "misaligned pc 0x%x" pc;
+  (* construct the event only when a hook is installed: neither the event
+     record nor the word read may cost anything on the plain path *)
+  (match t.hook with
+  | None -> ()
+  | Some f ->
+      if pc < 0 || pc + 4 > Bytes.length t.mem then
+        fault "pc out of range 0x%x" pc;
+      f (Ev_exec { pc; word = Eel_util.Bytebuf.get32_be t.mem pc }));
+  let insn = fetch_insn t pc in
+  t.ninsns <- t.ninsns + 1;
+  (match t.profile with None -> () | Some p -> profile_step p ~pc insn);
+  exec_insn t pc insn
+
+(* {!step} with the hook/profile option matches hoisted out: the inner loop
+   for machines with neither installed (the common case for the fuzz and
+   differential pipelines, which observe through the obs sink instead). *)
+let step_plain t =
+  let pc = t.pc in
+  if pc land 3 <> 0 then fault "misaligned pc 0x%x" pc;
+  let insn = fetch_insn t pc in
+  t.ninsns <- t.ninsns + 1;
+  exec_insn t pc insn
+
 exception Out_of_fuel
 
 type result = {
@@ -574,10 +649,19 @@ type result = {
     propagates, so the log always carries the run's terminal event. *)
 let run ?(fuel = 200_000_000) t =
   try
-    while t.exited = None do
-      if t.ninsns >= fuel then raise Out_of_fuel;
-      step t
-    done;
+    (* dispatch once: the per-step hook/profile matches are paid only by
+       machines that actually installed one *)
+    (match (t.hook, t.profile) with
+    | None, None ->
+        while t.exited = None do
+          if t.ninsns >= fuel then raise Out_of_fuel;
+          step_plain t
+        done
+    | _ ->
+        while t.exited = None do
+          if t.ninsns >= fuel then raise Out_of_fuel;
+          step t
+        done);
     {
       exit_code = Option.get t.exited;
       insns = t.ninsns;
@@ -610,11 +694,13 @@ let sp t = t.regs.(Regs.sp)
 (** A copy of the register file (32 GPRs followed by icc and y). *)
 let registers t = Array.copy t.regs
 
-(** [run_exe ?fuel ?hook ?profile exe] loads and runs an executable.
-    [profile] collects ground-truth execution statistics (see {!profile});
-    when absent the per-instruction profiling cost is a single match. *)
-let run_exe ?fuel ?hook ?profile exe =
-  let t = Eel_obs.Trace.with_span "emu.load" (fun () -> load exe) in
+(** [run_exe ?fuel ?hook ?profile ?predecode exe] loads and runs an
+    executable. [profile] collects ground-truth execution statistics (see
+    {!profile}); when absent the per-instruction profiling cost is a single
+    match. [~predecode:false] disables the predecoded fast path (see
+    {!load}). *)
+let run_exe ?fuel ?hook ?profile ?predecode exe =
+  let t = Eel_obs.Trace.with_span "emu.load" (fun () -> load ?predecode exe) in
   t.hook <- hook;
   t.profile <- profile;
   let r = Eel_obs.Trace.with_span "emu.run" (fun () -> run ?fuel t) in

@@ -9,8 +9,15 @@
 
     Registration is idempotent by name: [counter "x"] returns the existing
     counter on the second call, and raises [Invalid_argument] if "x" is
-    already registered as a different metric kind. The registry is global
-    and process-wide, matching the single-threaded pipeline. *)
+    already registered as a different metric kind.
+
+    The registry is {e domain-local}: each domain sees (and mutates) its
+    own registry, so jobs fanned out through {!Eel_util.Pool} can bump
+    counters without locks or races. The pool merges worker registries
+    back into the caller's at join time — in chunk order, via the
+    {!export}/{!absorb} pair registered as a pool join hook below — so a
+    parallel run's final registry matches the serial run's: counters and
+    histograms accumulate, gauges keep the last chunk that set them. *)
 
 type histogram = {
   h_edges : float array;  (** strictly increasing upper bucket edges *)
@@ -29,7 +36,12 @@ type metric =
   | M_gauge_fn of (unit -> float)  (** read-through to external state *)
   | M_hist of histogram
 
-let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+(* one registry per domain: worker domains start empty, so an export after
+   a pool chunk is exactly that chunk's delta *)
+let registry_key : (string, metric) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 64)
+
+let registry () = Domain.DLS.get registry_key
 
 let kind_name = function
   | M_counter _ -> "counter"
@@ -38,10 +50,10 @@ let kind_name = function
   | M_hist _ -> "histogram"
 
 let register name make match_existing =
-  match Hashtbl.find_opt registry name with
+  match Hashtbl.find_opt (registry ()) name with
   | None ->
       let m, v = make () in
-      Hashtbl.add registry name m;
+      Hashtbl.add (registry ()) name m;
       v
   | Some m -> (
       match match_existing m with
@@ -72,8 +84,8 @@ let set (g : gauge) v = g := v
 (** [gauge_fn name f] registers (or replaces) a gauge whose value is read
     from [f] at snapshot time — zero cost on the instrumented path. *)
 let gauge_fn name f =
-  match Hashtbl.find_opt registry name with
-  | None | Some (M_gauge_fn _) -> Hashtbl.replace registry name (M_gauge_fn f)
+  match Hashtbl.find_opt (registry ()) name with
+  | None | Some (M_gauge_fn _) -> Hashtbl.replace (registry ()) name (M_gauge_fn f)
   | Some m ->
       invalid_arg
         (Printf.sprintf "Metrics: %s is already registered as a %s" name
@@ -130,10 +142,10 @@ let read = function
         }
 
 let snapshot () =
-  Hashtbl.fold (fun name m acc -> (name, read m) :: acc) registry []
+  Hashtbl.fold (fun name m acc -> (name, read m) :: acc) (registry ()) []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
-let find name = Option.map read (Hashtbl.find_opt registry name)
+let find name = Option.map read (Hashtbl.find_opt (registry ()) name)
 
 (** [reset ()] zeroes counters, gauges and histograms; callback gauges keep
     reading their external state (resetting that state is its owner's job,
@@ -149,10 +161,52 @@ let reset () =
           Array.fill h.h_counts 0 (Array.length h.h_counts) 0;
           h.h_sum <- 0.;
           h.h_n <- 0)
-    registry
+    (registry ())
 
 (** [clear ()] drops every registration (test isolation). *)
-let clear () = Hashtbl.reset registry
+let clear () = Hashtbl.reset (registry ())
+
+(** {1 Cross-domain export/absorb}
+
+    Worker domains in an {!Eel_util.Pool} fan-out start with an empty
+    registry; [export] captures everything a chunk registered and
+    [absorb] merges it into the caller's registry. The merge is the
+    serial semantics, replayed: counters and histograms add, gauges are
+    overwritten (the pool absorbs chunks in order, so the last chunk that
+    set a gauge wins — exactly the serial last-writer). Callback gauges
+    are skipped: they read external state their owning domain holds. *)
+
+let export () =
+  List.filter_map
+    (fun (name, m) ->
+      match m with M_gauge_fn _ -> None | m -> Some (name, read m))
+    (Hashtbl.fold (fun name m acc -> (name, m) :: acc) (registry ()) [])
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let absorb ex =
+  List.iter
+    (fun (name, v) ->
+      match (v, Hashtbl.find_opt (registry ()) name) with
+      | Int n, (None | Some (M_counter _)) -> incr ~by:n (counter name)
+      | Float f, (None | Some (M_gauge _)) -> set (gauge name) f
+      | Hist { edges; counts; sum; n }, (None | Some (M_hist _)) ->
+          let h = histogram ~edges name in
+          if h.h_edges = edges then (
+            Array.iteri
+              (fun i c -> h.h_counts.(i) <- h.h_counts.(i) + c)
+              counts;
+            h.h_sum <- h.h_sum +. sum;
+            h.h_n <- h.h_n + n)
+      | _ ->
+          (* kind drift between domains: drop rather than corrupt *)
+          ())
+    ex
+
+(* a pool worker's registry rides home on the join hook *)
+let () =
+  Eel_util.Pool.on_join (fun () ->
+      let ex = export () in
+      fun () -> absorb ex)
 
 (** {1 Rendering} *)
 

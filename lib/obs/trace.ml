@@ -141,28 +141,38 @@ let unclosed t =
   seal t;
   List.rev t.unclosed
 
-(** {1 The ambient tracer} *)
+(** {1 The ambient tracer}
 
-let current : t option ref = ref None
+    The slot is domain-local: a tracer installed on the main domain is
+    not visible to {!Eel_util.Pool} workers, whose spans would otherwise
+    interleave racily into one mutable tree. Workers see [None] and
+    their spans no-op; drivers that want a full trace run serially
+    (they pass [~jobs:1] when [--trace] is set). *)
 
-let set_current o = current := o
+let current_key : t option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
 
-let get_current () = !current
+let current () = Domain.DLS.get current_key
+
+let set_current o = current () := o
+
+let get_current () = !(current ())
 
 let with_current t f =
-  let old = !current in
-  current := Some t;
-  Fun.protect ~finally:(fun () -> current := old) f
+  let cur = current () in
+  let old = !cur in
+  cur := Some t;
+  Fun.protect ~finally:(fun () -> cur := old) f
 
 (** [with_span name f] runs [f] inside a span of the ambient tracer, or
     just calls [f] when none is installed. *)
 let with_span ?args name f =
-  match !current with None -> f () | Some t -> span t ?args name f
+  match !(current ()) with None -> f () | Some t -> span t ?args name f
 
 (** [mark name] attaches an instant event to the ambient tracer's innermost
     open span (dropped when no tracer is installed). *)
 let mark ?args name =
-  match !current with None -> () | Some t -> instant t ?args name
+  match !(current ()) with None -> () | Some t -> instant t ?args name
 
 (** {1 Export} *)
 

@@ -132,6 +132,30 @@ let test_identity_no_text () =
       Alcotest.failf "expected a structured error, got %s"
         (Dx.verdict_name rp.Dx.rp_verdict)
 
+let test_predecode_self_differential () =
+  (* the predecoded fast path (ISSUE 5) under the oracle's own event sink:
+     every corpus program must produce a byte-identical observable log,
+     the same stop condition, and the same event total with predecode on
+     and off — the emulator differentially tested against itself *)
+  List.iter
+    (fun (name, exe) ->
+      let exec ~predecode =
+        match Dx.execute ~predecode exe with
+        | Ok r -> r
+        | Error e -> Alcotest.failf "%s: %s" name (Diag.error_message e)
+      in
+      let a = exec ~predecode:true and b = exec ~predecode:false in
+      Alcotest.(check string)
+        (name ^ ": same stop")
+        (Format.asprintf "%a" Dx.pp_stop b.Dx.r_stop)
+        (Format.asprintf "%a" Dx.pp_stop a.Dx.r_stop);
+      Alcotest.(check int) (name ^ ": same total") b.Dx.r_total a.Dx.r_total;
+      Alcotest.(check bool)
+        (name ^ ": identical event log")
+        true
+        (a.Dx.r_events = b.Dx.r_events))
+    (Corpus.all ())
+
 (* ------------------------------------------------------------------ *)
 (* Seeded semantics-changing mutants                                   *)
 (* ------------------------------------------------------------------ *)
@@ -365,6 +389,8 @@ let () =
             test_identity_fib_o7_spill;
           Alcotest.test_case "refusal is a structured error" `Quick
             test_identity_no_text;
+          Alcotest.test_case "predecode self-differential" `Quick
+            test_predecode_self_differential;
         ] );
       ( "mutants",
         [

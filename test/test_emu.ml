@@ -399,6 +399,128 @@ main:   set 0x10000, %l0
        ^ exit0)
        "1\n0\n")
 
+(* ---- the predecoded fast path (ISSUE 5) ----
+
+   [Emu.load] decodes the text segment once into a dense instruction
+   array; stores into text re-decode the clobbered word. These tests pin
+   the contract: predecoded and decode-per-step execution are observably
+   identical, including under self-modifying code and on faults. *)
+
+let run_mode ~predecode src =
+  match Asm.assemble src with
+  | Error m -> Alcotest.failf "assembly failed: %s" m
+  | Ok exe -> fst (Emu.run_exe ~predecode exe)
+
+let check_same_both_modes src =
+  let a = run_mode ~predecode:true src
+  and b = run_mode ~predecode:false src in
+  Alcotest.(check string) "same output" b.Emu.out a.Emu.out;
+  Alcotest.(check int) "same insns" b.Emu.insns a.Emu.insns;
+  Alcotest.(check int) "same loads" b.Emu.loads a.Emu.loads;
+  Alcotest.(check int) "same stores" b.Emu.stores a.Emu.stores;
+  Alcotest.(check int) "same exit code" b.Emu.exit_code a.Emu.exit_code;
+  a
+
+(* or %g0, imm, %o0 — i.e. "mov imm, %o0" *)
+let mov_imm_o0 imm =
+  Insn.encode (Insn.Alu { op = Insn.Or; rs1 = 0; op2 = Insn.O_imm imm; rd = 8 })
+
+let test_predecode_equiv () =
+  List.iter
+    (fun src -> ignore (check_same_both_modes src))
+    [
+      ({|
+main:   mov 5, %l0
+Lloop:  mov %l0, %o0
+        ta 2
+        subcc %l0, 1, %l0
+        bne Lloop
+        nop
+|}
+      ^ exit0);
+      ({|
+main:   set buf, %l0
+        mov 7, %l1
+        st %l1, [%l0]
+        ld [%l0], %o0
+        ta 2
+|}
+      ^ exit0 ^ "        .data\n        .align 4\nbuf:    .word 0\n");
+    ]
+
+let test_predecode_selfmod_word () =
+  (* a full-word store over an instruction in the program's own text: the
+     predecoded path must re-decode the patched word before re-executing
+     it, matching decode-per-step exactly *)
+  let src =
+    Printf.sprintf
+      {|
+main:   set Lpatch, %%l0
+        set 0x%x, %%l1
+        st %%l1, [%%l0]
+Lpatch: mov 1, %%o0
+        ta 2
+|}
+      (mov_imm_o0 42)
+    ^ exit0
+  in
+  let r = check_same_both_modes src in
+  Alcotest.(check string) "patched instruction executed" "42\n" r.Emu.out
+
+let test_predecode_selfmod_byte () =
+  (* sub-word invalidation: a single-byte store into the low byte of an
+     instruction word must also invalidate the predecoded entry *)
+  Alcotest.(check int)
+    "encodings differ only in the immediate byte" (mov_imm_o0 42)
+    (mov_imm_o0 1 land lnot 0xFF lor 0x2a);
+  let src =
+    {|
+main:   set Lpatch, %l0
+        mov 0x2a, %l1
+        stb %l1, [%l0 + 3]
+Lpatch: mov 1, %o0
+        ta 2
+|}
+    ^ exit0
+  in
+  let r = check_same_both_modes src in
+  Alcotest.(check string) "byte-patched instruction executed" "42\n" r.Emu.out
+
+let test_predecode_outside_text () =
+  (* jumping into .data exercises the decode-per-step fallback: those pcs
+     are outside the predecoded window, so fetch must fall back without
+     faulting *)
+  let w v = Printf.sprintf "0x%x" (Insn.encode v) in
+  let ta n = Insn.Ticc { cond = Insn.CA; rs1 = 0; op2 = Insn.O_imm n } in
+  let src =
+    Printf.sprintf
+      {|
+main:   set Lcode, %%l0
+        jmp %%l0
+        nop
+        .data
+        .align 4
+Lcode:  .word 0x%x, %s, 0x%x, %s, %s
+|}
+      (mov_imm_o0 42) (w (ta 2)) (mov_imm_o0 0) (w (ta 1)) (w Insn.nop)
+  in
+  let r = check_same_both_modes src in
+  Alcotest.(check string) "ran code from the data segment" "42\n" r.Emu.out
+
+let test_predecode_fault_parity () =
+  (* decode of an invalid word must not fault at load time (predecode
+     scans all of text); both modes fault identically at execution *)
+  let fault ~predecode =
+    match Asm.assemble "main:   .word 0\n        nop\n" with
+    | Error m -> Alcotest.failf "asm: %s" m
+    | Ok exe -> (
+        match Emu.run_exe ~predecode exe with
+        | exception Emu.Fault m -> m
+        | _ -> Alcotest.fail "expected illegal-instruction fault")
+  in
+  Alcotest.(check string) "identical fault message" (fault ~predecode:false)
+    (fault ~predecode:true)
+
 let () =
   Alcotest.run "emu"
     [
@@ -439,5 +561,16 @@ let () =
           Alcotest.test_case "wild jump" `Quick test_fault_wild_pc;
           Alcotest.test_case "fuel" `Quick test_out_of_fuel;
           Alcotest.test_case "event hook" `Quick test_event_hook;
+        ] );
+      ( "predecode",
+        [
+          Alcotest.test_case "mode equivalence" `Quick test_predecode_equiv;
+          Alcotest.test_case "self-modifying word store" `Quick
+            test_predecode_selfmod_word;
+          Alcotest.test_case "self-modifying byte store" `Quick
+            test_predecode_selfmod_byte;
+          Alcotest.test_case "execution outside text" `Quick
+            test_predecode_outside_text;
+          Alcotest.test_case "fault parity" `Quick test_predecode_fault_parity;
         ] );
     ]

@@ -1,0 +1,59 @@
+(* Determinism guard for the multicore fan-out (ISSUE 5): the parallel
+   drivers must be observably serial. Each driver below runs twice as a
+   subprocess — once pinned to a single domain, once fanned out over
+   four — and the two runs must produce byte-identical stdout: same
+   coverage counts, same crash signatures, same divergence report, same
+   JSON. Any ordering or merge bug in the pool shows up here as a diff. *)
+
+(* locate the tools next to this test binary so the test is cwd-agnostic
+   (dune runtest runs in _build/default/test, dune exec in the root) *)
+let tool name =
+  Filename.concat (Filename.dirname Sys.executable_name) ("../bin/" ^ name)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let run_with_jobs ~jobs exe_name args =
+  let out = Filename.temp_file "eel_parallel" ".out" in
+  let cmd =
+    Printf.sprintf "EEL_JOBS=%d %s %s > %s 2> /dev/null" jobs
+      (Filename.quote (tool exe_name))
+      args (Filename.quote out)
+  in
+  let rc = Sys.command cmd in
+  let s = read_file out in
+  Sys.remove out;
+  (rc, s)
+
+let check_jobs_invariant name exe_name args =
+  let rc1, s1 = run_with_jobs ~jobs:1 exe_name args in
+  let rc4, s4 = run_with_jobs ~jobs:4 exe_name args in
+  Alcotest.(check int) (name ^ ": exit at 1 domain") 0 rc1;
+  Alcotest.(check int) (name ^ ": exit at 4 domains") 0 rc4;
+  Alcotest.(check string) (name ^ ": byte-identical stdout") s1 s4
+
+let test_fuzz_plain () =
+  check_jobs_invariant "fuzz" "eel_fuzz.exe" "--count 80 --seed 42 --verbose"
+
+let test_fuzz_diff () =
+  check_jobs_invariant "fuzz --diff" "eel_fuzz.exe" "--diff --count 48 --seed 42"
+
+let test_diff_table () = check_jobs_invariant "diff" "eel_diff.exe" ""
+
+let test_diff_tool_json () =
+  check_jobs_invariant "diff --tool --json" "eel_diff.exe" "--tool qpt2 --json"
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "determinism",
+        [
+          Alcotest.test_case "fuzz corpus sweep" `Quick test_fuzz_plain;
+          Alcotest.test_case "fuzz differential mode" `Quick test_fuzz_diff;
+          Alcotest.test_case "identity-diff table" `Quick test_diff_table;
+          Alcotest.test_case "tool-diff JSON report" `Quick test_diff_tool_json;
+        ] );
+    ]

@@ -72,6 +72,69 @@ let test_truncated_reads () =
     Alcotest.(check int) "wanted" 1 wanted;
     Alcotest.(check int) "available" 0 available
 
+(* ---- the chunked domain pool (ISSUE 5) ---- *)
+
+let test_pool_order () =
+  let items = Array.init 37 (fun i -> i) in
+  let serial = Array.map (fun i -> i * i) items in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (array int))
+        (Printf.sprintf "jobs=%d matches serial map" jobs)
+        serial
+        (Pool.map ~jobs (fun i -> i * i) items))
+    [ 1; 2; 3; 4; 8 ]
+
+let test_pool_more_jobs_than_items () =
+  Alcotest.(check (list int))
+    "3 items under 16 jobs" [ 2; 4; 6 ]
+    (Pool.map_list ~jobs:16 (fun i -> 2 * i) [ 1; 2; 3 ]);
+  Alcotest.(check (list int)) "empty input" [] (Pool.map_list ~jobs:4 succ []);
+  Alcotest.(check (array int))
+    "single item" [| 9 |]
+    (Pool.map ~jobs:4 (fun i -> i + 1) [| 8 |])
+
+let test_pool_env_jobs () =
+  Unix.putenv "EEL_JOBS" "4";
+  Alcotest.(check (option int)) "EEL_JOBS=4" (Some 4) (Pool.env_jobs ());
+  Unix.putenv "EEL_JOBS" "0";
+  Alcotest.(check (option int)) "0 is rejected" None (Pool.env_jobs ());
+  Unix.putenv "EEL_JOBS" "banana";
+  Alcotest.(check (option int)) "garbage is rejected" None (Pool.env_jobs ());
+  Unix.putenv "EEL_JOBS" "999";
+  Alcotest.(check (option int)) "over the cap" None (Pool.env_jobs ());
+  Unix.putenv "EEL_JOBS" ""
+
+let test_pool_metrics_merge () =
+  (* worker domains bump domain-local counters; the join hook must absorb
+     every worker's delta into the caller's registry, summing to exactly
+     the serial total *)
+  let module M = Eel_obs.Metrics in
+  let name = "pool.test.counter" in
+  let before =
+    match M.find name with Some (M.Int n) -> n | _ -> 0
+  in
+  let items = Array.init 20 (fun i -> i + 1) in
+  let out =
+    Pool.map ~jobs:4
+      (fun i ->
+        M.incr ~by:i (M.counter name);
+        i)
+      items
+  in
+  Alcotest.(check (array int)) "results ordered" items out;
+  let expect = before + Array.fold_left ( + ) 0 items in
+  (match M.find name with
+  | Some (M.Int n) -> check_int "counter merged across domains" expect n
+  | _ -> Alcotest.fail "counter missing after join")
+
+let test_pool_exception_propagates () =
+  match Pool.map ~jobs:4 (fun i -> if i = 13 then failwith "boom" else i)
+          (Array.init 20 (fun i -> i))
+  with
+  | _ -> Alcotest.fail "worker exception was swallowed"
+  | exception Failure m -> Alcotest.(check string) "worker failure" "boom" m
+
 (* Property: sext inverts zext for in-range values. *)
 let prop_sext_zext =
   QCheck.Test.make ~name:"sext/zext roundtrip on signed 13-bit values"
@@ -106,6 +169,17 @@ let () =
           Alcotest.test_case "roundtrip" `Quick test_bytebuf_roundtrip;
           Alcotest.test_case "big-endian words" `Quick test_bytebuf_be;
           Alcotest.test_case "truncation" `Quick test_truncated_reads;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "ordered results" `Quick test_pool_order;
+          Alcotest.test_case "more jobs than items" `Quick
+            test_pool_more_jobs_than_items;
+          Alcotest.test_case "EEL_JOBS parsing" `Quick test_pool_env_jobs;
+          Alcotest.test_case "metrics merge at join" `Quick
+            test_pool_metrics_merge;
+          Alcotest.test_case "worker exception propagates" `Quick
+            test_pool_exception_propagates;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
