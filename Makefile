@@ -2,7 +2,7 @@
 # build everything, run the test suites, the never-crash fuzz corpus, and
 # the observability trace smoke test.
 
-.PHONY: all build test fuzz diff-smoke equiv-smoke trace-smoke perf perf-smoke check clean
+.PHONY: all build test fuzz diff-smoke equiv-smoke trace-smoke inject-smoke perf perf-smoke check clean
 
 all: build
 
@@ -35,6 +35,15 @@ trace-smoke:
 	./_build/default/bin/eel_run.exe --trace _build/smoke-trace.json --metrics _build/smoke.sef 2> /dev/null
 	./_build/default/bin/trace_check.exe _build/smoke-trace.json
 
+# Adversarial campaign gate: seed known-bad edits, contracts and
+# environments against the oracle (tool x fault class matrix + guided
+# hunt + clean and environment sweeps). Fails unless every seeded fault
+# is detected with zero crashes and zero clean-corpus false violations;
+# minimized reproducers land in _build/inject (CI uploads them).
+inject-smoke:
+	dune build bin/eel_fuzz.exe
+	./_build/default/bin/eel_fuzz.exe --inject --budget 48 --out _build/inject
+
 # Performance trajectory: the predecode + multicore fan-out experiment,
 # persisted to BENCH_perf.json at the repo root (methodology in
 # EXPERIMENTS.md). perf-smoke is the tiny-budget CI variant: it fails if
@@ -48,7 +57,7 @@ perf-smoke:
 	EEL_PERF_BUDGET=smoke ./_build/default/bench/main.exe perf
 
 check:
-	dune build && dune runtest && dune build @fuzz && dune build @diff && dune build @equiv && $(MAKE) trace-smoke
+	dune build && dune runtest && dune build @fuzz && dune build @diff && dune build @equiv && $(MAKE) trace-smoke && $(MAKE) inject-smoke
 
 clean:
 	dune clean

@@ -682,6 +682,51 @@ let perf () =
     exit 1)
 
 (* ---------------------------------------------------------------- *)
+(* Experiment I: seeded-fault detection rate (ISSUE 6)               *)
+(* ---------------------------------------------------------------- *)
+
+(* The adversarial campaign as an experiment: per (tool x fault class),
+   how many known-bad edits/contracts were injected and how many the
+   oracle flagged. The paper never had to defend its tools against a
+   lying edit; our oracle does, and this is the measurement. *)
+let inject () =
+  let module Fault = Eel_mutate.Fault in
+  print_endline "=== Experiment I: seeded-fault detection rate ===";
+  let o = Fault.campaign ~seed:42 ~budget:48 () in
+  let tools = Eel_tools.Toolbox.names in
+  Printf.printf "%-14s" "fault class";
+  List.iter (fun t -> Printf.printf " %8s" t) tools;
+  print_newline ();
+  List.iter
+    (fun cls ->
+      Printf.printf "%-14s" (Fault.class_name cls);
+      List.iter
+        (fun tool ->
+          match
+            List.find_opt
+              (fun (c : Fault.cell) ->
+                c.Fault.cl_tool = tool && c.Fault.cl_class = cls)
+              o.Fault.o_cells
+          with
+          | None -> Printf.printf " %8s" "n/a"
+          | Some c ->
+              Printf.printf " %8s" (if c.Fault.cl_flagged then "caught" else "MISS"))
+        tools;
+      print_newline ())
+    Fault.all_classes;
+  Printf.printf
+    "detection %d/%d, %d reproducers, %d distinct hunt signatures, %d \
+     crashes, clean sweep %d/%d\n\n"
+    o.Fault.o_caught o.Fault.o_injected
+    (List.length o.Fault.o_repros)
+    o.Fault.o_hunt_distinct o.Fault.o_crashes
+    (o.Fault.o_clean_total - o.Fault.o_clean_bad)
+    o.Fault.o_clean_total;
+  if not (Fault.passed o) then (
+    print_endline "FAIL: campaign below the 100%-detection bar";
+    exit 1)
+
+(* ---------------------------------------------------------------- *)
 (* Micro-benchmarks                                                  *)
 (* ---------------------------------------------------------------- *)
 
@@ -814,6 +859,7 @@ let all =
       ("slice", ablation_slicing);
       ("span", ablation_span);
       ("scavenge", ablation_scavenging);
+      ("inject", inject);
       ("micro", micro);
     ]
 

@@ -66,6 +66,7 @@ let () =
   let fuel = ref Diffexec.default_fuel in
   let verbose = ref false and show_metrics = ref false and json = ref false in
   let trace_file = ref "" and tool = ref "" in
+  let reproduce = ref "" in
   let files = ref [] in
   Arg.parse
     [
@@ -84,6 +85,11 @@ let () =
         Arg.Set show_metrics,
         "dump the eel.diff.* / eel.equiv.* metrics at the end" );
       ("--trace", Arg.Set_string trace_file, "FILE to write a Chrome trace timeline to");
+      ( "--reproduce",
+        Arg.Set_string reproduce,
+        "FILE replay a minimized fault-injection reproducer (JSON artifact \
+         written by eel_fuzz --inject); exit 0 iff the fault is still \
+         flagged" );
     ]
     (fun f -> files := f :: !files)
     "eel_diff [--tool NAME] [FILE.sef ...]: differential oracle (default: \
@@ -94,6 +100,42 @@ let () =
      Printf.eprintf "eel_diff: unknown tool %s (expected one of: %s)\n" !tool
        (String.concat ", " Toolbox.names);
      exit 2));
+  if !reproduce <> "" then (
+    (* replay a reproducer artifact: rebuild the exact (tool, program,
+       fault class, sites) trial deterministically and demand the oracle
+       still flag it *)
+    let module Fault = Eel_mutate.Fault in
+    let module Json = Eel_obs.Json in
+    let fail msg =
+      Printf.eprintf "eel_diff --reproduce: %s\n" msg;
+      exit 2
+    in
+    let text =
+      try
+        let ic = open_in_bin !reproduce in
+        let n = in_channel_length ic in
+        let s = really_input_string ic n in
+        close_in ic;
+        s
+      with Sys_error m -> fail m
+    in
+    (match Result.bind (Json.parse text) Fault.spec_of_json with
+     | Error m -> fail m
+     | Ok spec -> (
+         match Fault.replay ~fuel:!fuel spec with
+         | Error m -> fail m
+         | Ok (at, desc) ->
+             Printf.printf "%s %s on %s: %s\n  fault: %s\n  verdict: %s%s\n"
+               spec.Fault.sp_tool
+               (Fault.class_name spec.Fault.sp_class)
+               spec.Fault.sp_prog
+               (if at.Fault.at_flagged then "REPRODUCED" else "NOT REPRODUCED")
+               desc at.Fault.at_verdict
+               (if at.Fault.at_dclass = "" then ""
+                else
+                  Printf.sprintf " (%s at 0x%x)" at.Fault.at_dclass
+                    at.Fault.at_anchor);
+             exit (if at.Fault.at_flagged then 0 else 1))));
   let programs =
     match List.rev !files with
     | [] -> List.map (fun (n, e) -> (n, Ok e)) (Corpus.all ())

@@ -150,6 +150,8 @@ let () =
   let trace_file = ref "" in
   let diff = ref false and fuel = ref 300_000 in
   let tool = ref "" in
+  let inject = ref false and out_dir = ref "_build/inject" in
+  let budget = ref 48 in
   Arg.parse
     [
       ("--count", Arg.Set_int count, "NUMBER of mutants (default 200)");
@@ -169,6 +171,17 @@ let () =
           "NAME in --diff mode, verify a real instrumented edit of each \
            mutant under the tool's contract (%s)"
           (String.concat "|" Toolbox.names) );
+      ( "--inject",
+        Arg.Set inject,
+        "run the adversarial fault-injection campaign (tool x fault-class \
+         detection matrix, guided hunt, clean and environment sweeps)" );
+      ( "--out",
+        Arg.Set_string out_dir,
+        "DIR for minimized violation reproducers in --inject mode (default \
+         _build/inject)" );
+      ( "--budget",
+        Arg.Set_int budget,
+        "ATTEMPTS for the guided hunt in --inject mode (default 48)" );
     ]
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
     "eel_fuzz: assert the front end never crashes on mutated executables";
@@ -182,9 +195,86 @@ let () =
     Printf.eprintf "eel_fuzz: unknown tool %s (expected one of: %s)\n" !tool
       (String.concat ", " Toolbox.names);
     exit 2);
+  if !inject then (
+    (* ---- adversarial campaign (--inject) --------------------------
+       Seeded faults on all three attack surfaces; the acceptance bar is
+       100% detection, zero crashes and a clean corpus sweep. Minimized
+       reproducers land in --out as JSON artifacts (CI uploads them). *)
+    let module Fault = Eel_mutate.Fault in
+    let o = Fault.campaign ~seed:!seed ~fuel:!fuel ~budget:!budget () in
+    let rec mkdirs d =
+      if d <> "" && d <> "." && d <> "/" && not (Sys.file_exists d) then (
+        mkdirs (Filename.dirname d);
+        try Sys.mkdir d 0o755 with Sys_error _ -> ())
+    in
+    mkdirs !out_dir;
+    List.iteri
+      (fun i (r : Fault.repro) ->
+        let path =
+          Filename.concat !out_dir
+            (Printf.sprintf "repro-%02d-%s-%s.json" i r.Fault.rx_tool
+               (Fault.class_name r.Fault.rx_class))
+        in
+        let oc = open_out path in
+        output_string oc (Fault.repro_to_json r);
+        output_char oc '\n';
+        close_out oc)
+      o.Fault.o_repros;
+    Printf.printf
+      "eel_fuzz --inject: seed %d, fuel %d, hunt budget %d\n\n" !seed !fuel
+      !budget;
+    Printf.printf "%-8s %-14s %-9s %6s %8s  %s\n" "tool" "fault class"
+      "surface" "sites" "caught" "verdict";
+    List.iter
+      (fun (c : Fault.cell) ->
+        Printf.printf "%-8s %-14s %-9s %6d %8s  %s\n" c.Fault.cl_tool
+          (Fault.class_name c.Fault.cl_class)
+          (Fault.surface c.Fault.cl_class)
+          c.Fault.cl_sites
+          (if c.Fault.cl_flagged then "yes" else "MISSED")
+          c.Fault.cl_verdict)
+      o.Fault.o_cells;
+    Printf.printf
+      "\ndetection: %d/%d cells flagged; %d minimized reproducers in %s\n"
+      o.Fault.o_caught o.Fault.o_injected
+      (List.length o.Fault.o_repros)
+      !out_dir;
+    Printf.printf
+      "guided hunt: %d distinct violation signatures in %d attempts\n"
+      o.Fault.o_hunt_distinct o.Fault.o_hunt_attempts;
+    Printf.printf "clean sweep: %d trials, %d false violations\n"
+      o.Fault.o_clean_total o.Fault.o_clean_bad;
+    Printf.printf "environment sweep: %d trials\n" o.Fault.o_env_trials;
+    Printf.printf "crashes anywhere: %d\n" o.Fault.o_crashes;
+    if !verbose then
+      List.iter
+        (fun (r : Fault.repro) ->
+          Printf.printf "  repro %s/%s sites=[%s] %s (%s @0x%x): %s\n"
+            r.Fault.rx_tool
+            (Fault.class_name r.Fault.rx_class)
+            (String.concat ","
+               (List.map string_of_int r.Fault.rx_sites))
+            r.Fault.rx_verdict r.Fault.rx_dclass r.Fault.rx_anchor
+            r.Fault.rx_desc)
+        o.Fault.o_repros;
+    (match tracer with
+    | Some tr -> Trace.write_chrome_json tr !trace_file
+    | None -> ());
+    if Fault.passed o then (
+      print_string "PASS: every seeded fault detected, no crashes\n";
+      exit 0)
+    else (
+      print_string "FAIL: missed faults, crashes or false violations\n";
+      exit 1));
   let jobs = if tracer <> None then Some 1 else None in
   if !diff then (
     let crashed = ref 0 in
+    (* strict gate: a mutant whose instrumented edit violates its tool's
+       contract is a finding, not a statistic — the run must fail *)
+    let violations = ref 0 in
+    let count_violation s =
+      if List.mem "contract" (diff_slots_of s) then incr violations
+    in
     (* run the oracle, returning any crash as data: the blind pass runs in
        pool workers, which must not mutate shared counters or print *)
     let signature i kind bytes =
@@ -211,6 +301,7 @@ let () =
     List.iter
       (fun (s, crash) ->
         absorb_crash crash;
+        count_violation s;
         Hashtbl.replace blind_sigs s ())
       (Eel_util.Pool.map_list ?jobs
          (fun (i, kind, bytes) -> signature i kind bytes)
@@ -224,6 +315,7 @@ let () =
          ~run:(fun i kind bytes ->
            let s, crash = signature i kind bytes in
            absorb_crash crash;
+           count_violation s;
            let kname = Mutate.name kind in
            List.iter
              (fun slot -> Metrics.incr (class_counter kname slot))
@@ -261,10 +353,13 @@ let () =
     if !verbose then
       List.iter (fun s -> Printf.printf "  guided signature: %s\n" s)
         (Sched.signatures sched);
+    if !violations > 0 then
+      Printf.printf "contract violations found: %d (failing the run)\n"
+        !violations;
     (match tracer with
     | Some tr -> Trace.write_chrome_json tr !trace_file
     | None -> ());
-    exit (if !crashed > 0 then 1 else 0));
+    exit (if !crashed > 0 || !violations > 0 then 1 else 0));
   let corpus = Mutate.corpus ~seed:!seed ~count:!count base in
   (* mutants are independent: the pipeline runs fan out across domains and
      return outcomes in corpus order; counting, the per-class table and all

@@ -93,9 +93,11 @@ type run = {
     [profile] additionally collects the ground-truth execution profile;
     [filter] installs a record-time event filter with access to the live
     machine (the contract oracle masks an edit's declared side effects
-    there, where the stack pointer is still known). *)
+    there, where the stack pointer is still known); [pokes] installs a
+    deterministic environment-fault plan ({!Emu.poke}) — the injection
+    campaign corrupts chosen words mid-run through it. *)
 let execute ?(fuel = default_fuel) ?limit ?headroom ?(profile = false) ?filter
-    ?predecode (exe : Sef.t) : (run, Diag.error) result =
+    ?predecode ?(pokes = []) (exe : Sef.t) : (run, Diag.error) result =
   match
     try Ok (Emu.load ?headroom ?predecode exe)
     with Emu.Fault m -> Error (Diag.Exe_error { what = "emulator load: " ^ m })
@@ -114,6 +116,7 @@ let execute ?(fuel = default_fuel) ?limit ?headroom ?(profile = false) ?filter
       (match filter with
       | None -> ()
       | Some keep -> Emu.set_obs_filter t (Some (fun ev -> keep t ev)));
+      if pokes <> [] then Emu.set_pokes t pokes;
       let stop =
         match Emu.run ~fuel t with
         | r -> S_exit r.Emu.exit_code
@@ -535,7 +538,7 @@ type edit_report = {
   er_masked : int;  (** edited-run events filtered under the contract *)
 }
 
-let verify_edit ?fuel ?limit ?(norm_b = fun v -> v) ?block_of
+let verify_edit ?fuel ?limit ?(norm_b = fun v -> v) ?block_of ?pokes_b
     ~(contract : Contract.t) (orig : Sef.t) (edited : Sef.t) :
     (edit_report, Diag.error) result =
   Trace.with_span "equiv.verify"
@@ -551,7 +554,8 @@ let verify_edit ?fuel ?limit ?(norm_b = fun v -> v) ?block_of
       let keep t ev = not (Contract.declared contract ~sp:(Emu.sp t) ev) in
       match
         Trace.with_span "equiv.run.edited" (fun () ->
-            execute ?fuel ?limit ~headroom:head_b ~filter:keep edited)
+            execute ?fuel ?limit ~headroom:head_b ~filter:keep ?pokes:pokes_b
+              edited)
       with
       | Error e -> Error e
       | Ok rb ->

@@ -240,7 +240,21 @@ type t = {
           the covered range re-decodes its word, so self-modifying code
           behaves exactly as the decode-per-step path. *)
   code_lo : int;  (** base address of [code]; meaningless when empty *)
+  mutable pokes : poke list;
+      (** pending environment faults, sorted by [pk_at]; see {!set_pokes} *)
 }
+
+(** A deterministic environment fault: when the machine has executed
+    [pk_at] instructions, the 32-bit word at [pk_addr] is overwritten with
+    [pk_value] — before the next instruction runs. Pokes model corruption
+    arriving from {e outside} the program (the fault-injection campaign's
+    image bit-flips and counter-skew attacks), so they are applied directly
+    to memory: no observable event is recorded, no store count ticks. The
+    predecoded code array {e is} kept coherent (a poke into text must
+    change what executes, exactly like a program store would). A poke whose
+    address is out of range or misaligned is dropped silently — a fault
+    plan can never crash the machine. *)
+and poke = { pk_at : int; pk_addr : int; pk_value : int }
 
 (** Default extra space above the loaded image: heap + stack. *)
 let default_headroom = 8 * 1024 * 1024
@@ -331,6 +345,7 @@ let load ?(headroom = default_headroom) ?(predecode = true)
     text_hi;
     code;
     code_lo = text_lo;
+    pokes = [];
   }
 
 (** [set_obs t log] installs (or, with [None], removes) the observable-event
@@ -399,6 +414,27 @@ let store_mem t addr width v =
   | 4 -> Eel_util.Bytebuf.set32_be t.mem addr (W.mask v)
   | _ -> assert false);
   invalidate_code t addr
+
+(** [set_pokes t ps] installs a fault plan (see {!poke}); the plan is
+    consumed as {!run} reaches each poke's instruction count. Replaces any
+    pending plan. *)
+let set_pokes t ps =
+  t.pokes <- List.stable_sort (fun a b -> compare a.pk_at b.pk_at) ps
+
+(* drain every poke that has come due; bounds are checked here, not
+   trusted, so a hostile plan degrades to a no-op instead of raising *)
+let rec apply_pokes t =
+  match t.pokes with
+  | { pk_at; pk_addr; pk_value } :: rest when t.ninsns >= pk_at ->
+      t.pokes <- rest;
+      (* [addr <= len - 4], not [addr + 4 <= len]: the sum overflows for a
+         hostile plan poking near max_int *)
+      if pk_addr >= 0 && pk_addr <= Bytes.length t.mem - 4 && pk_addr land 3 = 0
+      then (
+        Eel_util.Bytebuf.set32_be t.mem pk_addr (W.mask pk_value);
+        invalidate_code t pk_addr);
+      apply_pokes t
+  | _ -> ()
 
 (** {1 Condition codes} *)
 
@@ -652,14 +688,23 @@ let run ?(fuel = 200_000_000) t =
     (* dispatch once: the per-step hook/profile matches are paid only by
        machines that actually installed one *)
     (match (t.hook, t.profile) with
-    | None, None ->
+    | None, None when t.pokes = [] ->
         while t.exited = None do
           if t.ninsns >= fuel then raise Out_of_fuel;
+          step_plain t
+        done
+    | None, None ->
+        (* a fault plan is pending: same fast stepper, plus the due-poke
+           check; once the plan drains the check is a single comparison *)
+        while t.exited = None do
+          if t.ninsns >= fuel then raise Out_of_fuel;
+          if t.pokes <> [] then apply_pokes t;
           step_plain t
         done
     | _ ->
         while t.exited = None do
           if t.ninsns >= fuel then raise Out_of_fuel;
+          if t.pokes <> [] then apply_pokes t;
           step t
         done);
     {

@@ -116,6 +116,45 @@ let mask_events t evs =
        (fun ev -> not (declared t ~sp:min_int ev))
        (Array.to_list evs))
 
+(** {1 Adversarial contract surgery}
+
+    The fault-injection campaign (lib/robust's [Fault]) needs to state
+    {e lies}: contracts that under-declare, over-declare or mis-declare a
+    tool's side effects, so the oracle can be shown to catch each kind of
+    lie. These transformers produce such contracts from an honest one; they
+    are pure (the original contract is untouched). *)
+
+(** Forget one declared region (by index into [ct_regions]) — the
+    "missing declaration" lie: the tool's stores there become undeclared
+    side effects the oracle must flag. Out-of-range indices are identity. *)
+let forget_region t i =
+  {
+    t with
+    ct_regions = List.filteri (fun j _ -> j <> i) t.ct_regions;
+  }
+
+(** Claim one extra region — the "over-declaration" lie: when the region
+    covers memory the {e program} writes, the oracle's masked edited run
+    goes silent where the original does not, and lockstep breaks. *)
+let claim_region t r = { t with ct_regions = r :: t.ct_regions }
+
+(** Claim an extra instrumentation trap number — masking a trap the
+    program itself issues. *)
+let claim_trap t n = { t with ct_traps = n :: t.ct_traps }
+
+(** Replace the declared store-address transform — the "phantom transform"
+    lie: the contract claims every program store address is rewritten by
+    [f], but the edit applies no such thing (or a different one), so the
+    normalized original stores and the edited run's raw stores no longer
+    meet. *)
+let claim_addr_norm t f = { t with ct_addr_norm = Some f }
+
+(** Drop every post-run promise — the "broken promise" direction is
+    exercised the other way around (keep the checks, skew the output), but
+    the campaign also needs promise-free variants for isolating event-level
+    verdicts. *)
+let forget_checks t = { t with ct_checks = [] }
+
 (** [run_checks t ~profile ~mem] runs every post-run check; the result is
     the first failure, tagged with its check's name. *)
 let run_checks t ~profile ~mem =

@@ -33,8 +33,9 @@
     any external consumer read scheduling state from the same namespace as
     every other metric. *)
 
-type t = {
-  classes : Mutate.kind array;
+type 'a t = {
+  classes : 'a array;
+  label : 'a -> string;  (** metrics/report name of a class *)
   sigs : (string, unit) Hashtbl.t array;  (** per-class signature sets *)
   attempts : int array;
   global : (string, unit) Hashtbl.t;  (** distinct signatures, all classes *)
@@ -42,16 +43,27 @@ type t = {
   prefix : string;
 }
 
-let create ?(prefix = "eel.diff.cover") () =
-  let classes = Array.of_list Mutate.all in
+(** [make ?prefix ~label classes] — a scheduler over an arbitrary arm
+    space. The fault-injection campaign schedules over
+    [(tool × fault-class)] arms with exactly the same discovery-rate rule
+    the SEF mutation loop uses; [label] renders an arm for metrics and
+    reports. [classes] must be non-empty and its elements distinct under
+    structural equality. *)
+let make ?(prefix = "eel.diff.cover") ~label (classes : 'a array) =
+  if Array.length classes = 0 then invalid_arg "Sched.make: no classes";
   {
     classes;
+    label;
     sigs = Array.init (Array.length classes) (fun _ -> Hashtbl.create 8);
     attempts = Array.make (Array.length classes) 0;
     global = Hashtbl.create 64;
     picks = 0;
     prefix;
   }
+
+(** The SEF-mutation scheduler: one arm per {!Mutate.kind}. *)
+let create ?prefix () =
+  make ?prefix ~label:Mutate.name (Array.of_list Mutate.all)
 
 let num_classes t = Array.length t.classes
 
@@ -123,7 +135,7 @@ let observe t kind ~signature =
   let g name v =
     Eel_obs.Metrics.set (Eel_obs.Metrics.gauge name) (float_of_int v)
   in
-  g (t.prefix ^ "." ^ Mutate.name kind) (Hashtbl.length t.sigs.(i));
+  g (t.prefix ^ "." ^ t.label kind) (Hashtbl.length t.sigs.(i));
   g (t.prefix ^ ".distinct") (Hashtbl.length t.global);
   fresh
 

@@ -253,3 +253,10 @@ let contract (p : t) =
   in
   Eel_equiv.Contract.make "amemory" ~regions
     ~red_zone:Eel.Snippet.red_zone ~checks:[ check ]
+
+(** Fault-campaign target: the reference counter, started far above any
+    possible dynamic memory-op count, breaks the refs-bounded-by-profile
+    promise. (The promise is bounded, not exact, so a small skew could hide
+    under the skip allowance — the written value is chosen to clear the
+    bound by construction.) *)
+let fault_targets (p : t) = [ ("ref counter", p.ref_counter, 1 lsl 20) ]

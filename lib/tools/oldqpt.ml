@@ -262,3 +262,11 @@ let contract (t : t) =
     }
   in
   Eel_equiv.Contract.make "oldqpt" ~regions ~checks:[ check ]
+
+(** Fault-campaign targets: every counter is validated exactly against its
+    branch's ground-truth count, so any nonzero starting skew is caught. *)
+let fault_targets (t : t) =
+  List.map
+    (fun (caddr, branch_pc) ->
+      (Printf.sprintf "counter@0x%x(branch 0x%x)" caddr branch_pc, caddr, 7))
+    t.counters

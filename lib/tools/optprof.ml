@@ -428,3 +428,21 @@ let contract (p : t) =
   in
   Eel_equiv.Contract.make "optprof" ~regions ~red_zone:Eel.Snippet.red_zone
     ~checks:[ check ]
+
+(** Fault-campaign targets: counter words of non-naive routines. A skewed
+    counter feeds the flow-conservation reconstruction, and the skew
+    surfaces at whichever fully-profiled multi-successor block the solved
+    circulation no longer matches ground truth at. Naive-routine counters
+    are excluded — naive routines are skipped by the check by design. *)
+let fault_targets (p : t) =
+  List.concat_map
+    (fun rp ->
+      if rp.rp_naive then []
+      else
+        List.filter_map
+          (fun re ->
+            Option.map
+              (fun addr -> (Printf.sprintf "counter@0x%x" addr, addr, 7))
+              re.re_counter)
+          rp.rp_edges)
+    p.routines

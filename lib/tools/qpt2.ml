@@ -176,3 +176,16 @@ let contract (p : t) =
     }
   in
   Contract.make "qpt2" ~regions ~red_zone:Snippet.red_zone ~checks:[ check ]
+
+(** Words the fault-injection campaign may corrupt with the guarantee that
+    {!contract}'s post-run check notices: counter words whose block is
+    fully instrumented (skewing a lower-bound counter of a skipped block
+    would be absorbed by design). The value is the skew written before the
+    run — any nonzero start breaks the exact-sum promise. *)
+let fault_targets (p : t) =
+  List.filter_map
+    (fun c ->
+      if c.c_site_pc >= 0 && not (List.mem (c.c_routine, c.c_block) p.skipped_blocks)
+      then Some (Printf.sprintf "counter@0x%x" c.c_addr, c.c_addr, 7)
+      else None)
+    p.counters

@@ -114,3 +114,9 @@ let clamp (t : t) addr = addr land (t.seg_size - 1) lor t.seg_base
 let contract (t : t) =
   Eel_equiv.Contract.make "sfi" ~red_zone:Snippet.red_zone
     ~addr_norm:(clamp t)
+
+(** SFI keeps no instrumentation state — there is no word whose corruption
+    its contract's checks would notice, so the count-skew fault class does
+    not apply. (Its lies live elsewhere: the phantom-transform and masking
+    attacks on [addr_norm] and the event filter.) *)
+let fault_targets (_ : t) : (string * int * int) list = []

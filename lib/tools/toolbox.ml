@@ -18,12 +18,20 @@ type applied = {
   ap_norm_b : int -> int;  (** edited-side value normalizer *)
   ap_block_of : int -> (string * int) option;
   ap_sites : int;  (** instrumentation sites placed, for reporting *)
+  ap_edited_addr : int -> int option;
+      (** original instruction address → its edited location; the
+          fault-injection campaign uses it to overwrite the edited form of
+          an instruction the original run is known to execute *)
+  ap_targets : (string * int * int) list;
+      (** (label, word address, skew value): instrumentation words whose
+          corruption the tool's own contract checks are guaranteed to
+          catch — the count-skew fault class's menu *)
 }
 
 (** Tool names {!apply} accepts, in presentation order. *)
 let names = [ "qpt2"; "oldqpt"; "tracer"; "sfi"; "amemory"; "optprof" ]
 
-let of_exec tool (exec : E.t) edited contract sites =
+let of_exec ?(targets = []) tool (exec : E.t) edited contract sites =
   {
     ap_tool = tool;
     ap_edited = edited;
@@ -31,6 +39,8 @@ let of_exec tool (exec : E.t) edited contract sites =
     ap_norm_b = E.inverse_address_norm exec;
     ap_block_of = (fun a -> E.block_of_addr exec a);
     ap_sites = sites;
+    ap_edited_addr = (fun a -> E.edited_addr exec a);
+    ap_targets = targets;
   }
 
 (** [apply name mach exe] instruments [exe] with the named tool and
@@ -50,9 +60,17 @@ let apply ?(sfi_base = 0) ?(sfi_size = 1 lsl 26) name mach exe :
       let p = Qpt2.instrument mach exe in
       Ok
         (of_exec "qpt2" p.Qpt2.exec p.Qpt2.edited (Qpt2.contract p)
-           (List.length p.Qpt2.counters))
+           (List.length p.Qpt2.counters)
+           ~targets:(Qpt2.fault_targets p))
   | "oldqpt" ->
       let p = Oldqpt.instrument exe in
+      (* oldqpt is not EEL-based: no Executable.t to anchor blocks or map
+         addresses, so its own rev_map stands in for both normalizers *)
+      let fwd = Hashtbl.create 64 in
+      Hashtbl.iter
+        (fun edited orig ->
+          if not (Hashtbl.mem fwd orig) then Hashtbl.add fwd orig edited)
+        p.Oldqpt.rev_map;
       Ok
         {
           ap_tool = "oldqpt";
@@ -61,26 +79,32 @@ let apply ?(sfi_base = 0) ?(sfi_size = 1 lsl 26) name mach exe :
           ap_norm_b = Oldqpt.inverse_address_norm p;
           ap_block_of = (fun _ -> None);
           ap_sites = List.length p.Oldqpt.counters;
+          ap_edited_addr = (fun a -> Hashtbl.find_opt fwd a);
+          ap_targets = Oldqpt.fault_targets p;
         }
   | "tracer" ->
       let p = Tracer.instrument mach exe in
       Ok
         (of_exec "tracer" p.Tracer.exec p.Tracer.edited (Tracer.contract p)
-           p.Tracer.instrumented)
+           p.Tracer.instrumented
+           ~targets:(Tracer.fault_targets p))
   | "sfi" ->
       let p = Sfi.instrument mach exe ~seg_base:sfi_base ~seg_size:sfi_size in
       Ok
-        (of_exec "sfi" p.Sfi.exec p.Sfi.edited (Sfi.contract p) p.Sfi.guarded)
+        (of_exec "sfi" p.Sfi.exec p.Sfi.edited (Sfi.contract p) p.Sfi.guarded
+           ~targets:(Sfi.fault_targets p))
   | "amemory" ->
       let p = Amemory.instrument mach exe in
       Ok
         (of_exec "amemory" p.Amemory.exec p.Amemory.edited
-           (Amemory.contract p) p.Amemory.instrumented)
+           (Amemory.contract p) p.Amemory.instrumented
+           ~targets:(Amemory.fault_targets p))
   | "optprof" ->
       let p = Optprof.instrument mach exe in
       Ok
         (of_exec "optprof" p.Optprof.exec p.Optprof.edited
-           (Optprof.contract p) p.Optprof.n_counters)
+           (Optprof.contract p) p.Optprof.n_counters
+           ~targets:(Optprof.fault_targets p))
   | _ ->
       Error
         (Printf.sprintf "unknown tool %s (expected one of: %s)" name

@@ -137,3 +137,10 @@ let contract (tr : t) =
   in
   Eel_equiv.Contract.make "tracer" ~regions ~red_zone:Snippet.red_zone
     ~checks:[ check ]
+
+(** Fault-campaign target: only the bump pointer is cross-validated (buffer
+    {e contents} are not promised word-for-word, so corrupting a buffer
+    slot is undetectable by design and not offered). Starting the pointer
+    at 8 inflates the entry count past the ground-truth memory-op count on
+    both branches of the length check. *)
+let fault_targets (tr : t) = [ ("trace pointer", tr.ptr_addr, 8) ]

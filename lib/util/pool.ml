@@ -53,12 +53,62 @@ let parse_jobs s =
 (** The [EEL_JOBS] override, when set and sane (1..256). *)
 let env_jobs () = Option.bind (Sys.getenv_opt "EEL_JOBS") parse_jobs
 
+(** {1 Cgroup CPU quota}
+
+    In a container, [Domain.recommended_domain_count] reports the host's
+    cores; a CI job pinned to 2 CPUs on a 64-core machine would spawn 64
+    domains contending for 2 cores' worth of quota. When a cgroup CPU
+    limit is visible, clamp to [ceil(quota / period)] — the number of
+    cores the scheduler will actually grant. *)
+
+(** [parse_cpu_max line] parses cgroup v2's [cpu.max] ("max 100000" or
+    "25000 100000") into a core count, ceiling-divided so a fractional
+    quota still gets one domain. *)
+let parse_cpu_max line =
+  match String.split_on_char ' ' (String.trim line) with
+  | [ "max"; _ ] | [ "max" ] -> None
+  | quota :: period :: _ -> (
+      match (int_of_string_opt quota, int_of_string_opt period) with
+      | Some q, Some p when q > 0 && p > 0 -> Some ((q + p - 1) / p)
+      | _ -> None)
+  | _ -> None
+
+(** [parse_cfs ~quota ~period] parses cgroup v1's [cpu.cfs_quota_us] /
+    [cpu.cfs_period_us] pair ([-1] quota means unlimited). *)
+let parse_cfs ~quota ~period =
+  match (int_of_string_opt (String.trim quota), int_of_string_opt (String.trim period)) with
+  | Some q, Some p when q > 0 && p > 0 -> Some ((q + p - 1) / p)
+  | _ -> None
+
+let read_line_of path =
+  try
+    let ic = open_in path in
+    let line = try input_line ic with End_of_file -> "" in
+    close_in ic;
+    Some line
+  with Sys_error _ -> None
+
+let cgroup_quota () =
+  match read_line_of "/sys/fs/cgroup/cpu.max" with
+  | Some line -> parse_cpu_max line
+  | None -> (
+      match
+        ( read_line_of "/sys/fs/cgroup/cpu/cpu.cfs_quota_us",
+          read_line_of "/sys/fs/cgroup/cpu/cpu.cfs_period_us" )
+      with
+      | Some quota, Some period -> parse_cfs ~quota ~period
+      | _ -> None)
+
+(** [recommended_domain_count ()] — the runtime's recommendation clamped
+    to the cgroup CPU quota when one is present, never less than 1. *)
+let recommended_domain_count () =
+  let n = max 1 (Domain.recommended_domain_count ()) in
+  match cgroup_quota () with Some q -> max 1 (min n q) | None -> n
+
 (** Domains a pool map will use by default: [EEL_JOBS] if set, otherwise
-    [Domain.recommended_domain_count ()], never less than 1. *)
+    {!recommended_domain_count}. *)
 let default_jobs () =
-  match env_jobs () with
-  | Some n -> n
-  | None -> max 1 (Domain.recommended_domain_count ())
+  match env_jobs () with Some n -> n | None -> recommended_domain_count ()
 
 (** [map ?jobs f items] — [Array.map f items] fanned out across domains.
     Results are in item order regardless of the domain count. *)

@@ -521,6 +521,122 @@ let test_predecode_fault_parity () =
   Alcotest.(check string) "identical fault message" (fault ~predecode:false)
     (fault ~predecode:true)
 
+(* ---- fuel boundaries and fault pokes (ISSUE 6) ----
+
+   The differential oracle trusts that fuel exhaustion is observably
+   identical in both execution modes: the terminating Ob_fuel event (and
+   everything before it) must match at EVERY cutoff, including fuel that
+   runs out between a branch and its delay slot. These tests sweep every
+   boundary of a looping program rather than spot-checking one. *)
+
+let events_with_fuel ~predecode ~fuel exe =
+  let t = Emu.load ~predecode exe in
+  let log = Emu.obs_log () in
+  Emu.set_obs t (Some log);
+  (match Emu.run ~fuel t with
+  | exception Emu.Out_of_fuel -> ()
+  | exception Emu.Fault _ -> ()
+  | _ -> ());
+  ( List.map (Format.asprintf "%a" Emu.pp_obs) (Emu.obs_events log),
+    Emu.insns_executed t )
+
+let fuel_parity_src =
+  {|
+main:   mov 3, %l0
+        set buf, %l2
+Lloop:  st %l0, [%l2]
+        mov %l0, %o0
+        ta 2
+        subcc %l0, 1, %l0
+        bne Lloop
+        nop
+        mov 0, %o0
+        ta 1
+        nop
+        .data
+        .align 4
+buf:    .word 0
+|}
+
+let test_fuel_boundary_parity () =
+  let exe =
+    match Asm.assemble fuel_parity_src with
+    | Ok e -> e
+    | Error m -> Alcotest.failf "asm: %s" m
+  in
+  (* full length first, then every fuel cutoff 1..n+1: each prefix of the
+     event log, and the Ob_fuel terminator's pc, must be mode-independent —
+     in particular at the cutoffs that split a bne from its delay slot *)
+  let full = run_mode ~predecode:true fuel_parity_src in
+  let n = full.Emu.insns in
+  for fuel = 1 to n + 1 do
+    let ea, ia = events_with_fuel ~predecode:true ~fuel exe
+    and eb, ib = events_with_fuel ~predecode:false ~fuel exe in
+    Alcotest.(check int) (Printf.sprintf "insns at fuel %d" fuel) ib ia;
+    Alcotest.(check (list string))
+      (Printf.sprintf "events at fuel %d" fuel)
+      eb ea
+  done
+
+let test_poke_mode_parity () =
+  (* overwrite the loop body's [mov %l0, %o0] (entry+0x10) with
+     [mov 99, %o0] after the first iteration: later iterations must print
+     99, and the predecoded instruction array must pick the new word up at
+     the same instruction boundary as decode-per-step execution *)
+  let exe =
+    match Asm.assemble fuel_parity_src with
+    | Ok e -> e
+    | Error m -> Alcotest.failf "asm: %s" m
+  in
+  let run_poked ~predecode pokes =
+    let t = Emu.load ~predecode exe in
+    let log = Emu.obs_log () in
+    Emu.set_obs t (Some log);
+    Emu.set_pokes t pokes;
+    (match Emu.run t with
+    | exception Emu.Fault _ -> ()
+    | _ -> ());
+    List.map (Format.asprintf "%a" Emu.pp_obs) (Emu.obs_events log)
+  in
+  let pokes =
+    [ { Emu.pk_at = 7; pk_addr = exe.Sef.entry + 0x10; pk_value = mov_imm_o0 99 } ]
+  in
+  let poked = run_poked ~predecode:true pokes in
+  Alcotest.(check (list string))
+    "poked run identical across modes"
+    (run_poked ~predecode:false pokes)
+    poked;
+  if poked = run_poked ~predecode:true [] then
+    Alcotest.fail "poke had no observable effect"
+
+let test_poke_invalid_dropped () =
+  (* hostile poke plans — negative, misaligned, out of range, overflowing —
+     must be silently dropped: same observable run as no pokes at all *)
+  let exe =
+    match Asm.assemble fuel_parity_src with
+    | Ok e -> e
+    | Error m -> Alcotest.failf "asm: %s" m
+  in
+  let run_with pokes =
+    let t = Emu.load exe in
+    let log = Emu.obs_log () in
+    Emu.set_obs t (Some log);
+    Emu.set_pokes t pokes;
+    ignore (Emu.run t);
+    List.map (Format.asprintf "%a" Emu.pp_obs) (Emu.obs_events log)
+  in
+  let clean = run_with [] in
+  let hostile =
+    [
+      { Emu.pk_at = 0; pk_addr = -4; pk_value = 1 };
+      { Emu.pk_at = 1; pk_addr = 3; pk_value = 1 };
+      { Emu.pk_at = 2; pk_addr = max_int - 3; pk_value = 1 };
+      { Emu.pk_at = 3; pk_addr = 1 lsl 30; pk_value = 1 };
+    ]
+  in
+  Alcotest.(check (list string)) "hostile pokes are no-ops" clean
+    (run_with hostile)
+
 let () =
   Alcotest.run "emu"
     [
@@ -572,5 +688,13 @@ let () =
           Alcotest.test_case "execution outside text" `Quick
             test_predecode_outside_text;
           Alcotest.test_case "fault parity" `Quick test_predecode_fault_parity;
+        ] );
+      ( "fuel-and-pokes",
+        [
+          Alcotest.test_case "fuel boundary parity" `Quick
+            test_fuel_boundary_parity;
+          Alcotest.test_case "poke mode parity" `Quick test_poke_mode_parity;
+          Alcotest.test_case "invalid pokes dropped" `Quick
+            test_poke_invalid_dropped;
         ] );
     ]

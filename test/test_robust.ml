@@ -311,6 +311,130 @@ let test_smoke_corpus () =
   Alcotest.(check bool) "some mutants load" true (!ok > 0);
   Alcotest.(check bool) "some mutants are rejected" true (!rejected > 0)
 
+(* ---- adversarial fault injection (ISSUE 6) ----
+
+   The campaign itself runs under `make inject-smoke`; these tests pin the
+   building blocks: instrumentation/site discovery, single-class
+   detection, greedy minimization, triage dedup, reproducer round-trip,
+   and the polymorphic scheduler over (tool x class) arms. *)
+
+module Fault = Eel_mutate.Fault
+module Sched = Eel_mutate.Sched
+
+let fib_inst =
+  lazy
+    (let exe = List.assoc "fib" (Eel_diffexec.Corpus.all ()) in
+     match Fault.instrument ~fuel:300_000 "qpt2" ("fib", exe) with
+     | Ok t -> t
+     | Error m -> Alcotest.failf "instrument qpt2/fib: %s" m)
+
+let test_fault_discovery () =
+  let t = Lazy.force fib_inst in
+  Alcotest.(check bool) "found executed trap sites" true
+    (Fault.sites t Fault.Stray_store <> []);
+  Alcotest.(check bool) "found program stores" true
+    (Fault.sites t Fault.Mask_store <> []);
+  Alcotest.(check bool) "found counter targets" true
+    (Fault.sites t Fault.Count_skew <> [])
+
+let test_fault_detected () =
+  (* a stray store injected at every executed trap site must be flagged *)
+  let t = Lazy.force fib_inst in
+  let n = List.length (Fault.sites t Fault.Stray_store) in
+  let armed = Fault.arm t Fault.Stray_store (List.init n Fun.id) in
+  let at = Fault.attempt ~fuel:300_000 t armed in
+  Alcotest.(check bool) "stray store flagged" true at.Fault.at_flagged;
+  Alcotest.(check bool) "no crash" false at.Fault.at_crash
+
+let test_fault_contract_lie_detected () =
+  (* forgetting a declared region turns the tool's own counter traffic
+     into a contract violation *)
+  let t = Lazy.force fib_inst in
+  let n = List.length (Fault.sites t Fault.Forget_region) in
+  Alcotest.(check bool) "qpt2 declares regions" true (n > 0);
+  let at =
+    Fault.attempt ~fuel:300_000 t
+      (Fault.arm t Fault.Forget_region (List.init n Fun.id))
+  in
+  Alcotest.(check bool) "forgotten region flagged" true at.Fault.at_flagged
+
+let test_fault_minimize_single_site () =
+  let t = Lazy.force fib_inst in
+  let n = List.length (Fault.sites t Fault.Stray_store) in
+  let idxs = List.init n Fun.id in
+  let min_sites, _ = Fault.minimize ~fuel:300_000 t Fault.Stray_store idxs in
+  Alcotest.(check int) "minimized to one site" 1 (List.length min_sites)
+
+let test_fault_clean_not_flagged () =
+  (* arming an empty site set is the unmodified edit: must verify clean *)
+  let t = Lazy.force fib_inst in
+  let at = Fault.attempt ~fuel:300_000 t (Fault.arm t Fault.Stray_store []) in
+  Alcotest.(check bool) "clean edit not flagged" false at.Fault.at_flagged
+
+let test_fault_triage_dedup () =
+  let r tool dclass anchor =
+    {
+      Fault.rx_tool = tool;
+      rx_prog = "fib";
+      rx_class = Fault.Stray_store;
+      rx_sites = [ 0 ];
+      rx_desc = "";
+      rx_verdict = "contract-violation";
+      rx_dclass = dclass;
+      rx_anchor = anchor;
+    }
+  in
+  let deduped =
+    Fault.triage
+      [ r "qpt2" "contract" 16; r "qpt2" "contract" 16; r "qpt2" "contract" 20;
+        r "sfi" "contract" 16 ]
+  in
+  Alcotest.(check int) "three equivalence classes" 3 (List.length deduped)
+
+let test_fault_repro_roundtrip () =
+  let r =
+    {
+      Fault.rx_tool = "qpt2";
+      rx_prog = "fib";
+      rx_class = Fault.Redzone_spill;
+      rx_sites = [ 1 ];
+      rx_desc = "trap site";
+      rx_verdict = "contract-violation";
+      rx_dclass = "contract";
+      rx_anchor = 0x43000c;
+    }
+  in
+  match
+    Result.bind (Eel_obs.Json.parse (Fault.repro_to_json r)) Fault.spec_of_json
+  with
+  | Error m -> Alcotest.failf "roundtrip failed: %s" m
+  | Ok s ->
+      Alcotest.(check string) "tool" "qpt2" s.Fault.sp_tool;
+      Alcotest.(check string) "program" "fib" s.Fault.sp_prog;
+      Alcotest.(check string) "class" "redzone-spill"
+        (Fault.class_name s.Fault.sp_class);
+      Alcotest.(check (list int)) "sites" [ 1 ] s.Fault.sp_sites
+
+let test_sched_polymorphic_arms () =
+  (* the generalized scheduler must drive arbitrary arm types and favor
+     the arm that keeps discovering new signatures *)
+  let arms = [| ("qpt2", "stray"); ("sfi", "mask") |] in
+  let s = Sched.make ~label:(fun (t, c) -> t ^ ":" ^ c) arms in
+  let fresh = ref 0 in
+  for _ = 1 to 40 do
+    let (tool, _) as arm = Sched.next s in
+    let signature =
+      if tool = "qpt2" then (
+        incr fresh;
+        Printf.sprintf "new-%d" !fresh)
+      else "same-old"
+    in
+    ignore (Sched.observe s arm ~signature)
+  done;
+  Alcotest.(check bool) "productive arm gets more attempts" true
+    (Sched.attempts_of s arms.(0) > Sched.attempts_of s arms.(1));
+  Alcotest.(check bool) "all signatures counted" true (Sched.distinct s > 2)
+
 let () =
   Alcotest.run "robust"
     [
@@ -356,5 +480,21 @@ let () =
           Alcotest.test_case "mutation determinism" `Quick
             test_mutation_determinism;
           Alcotest.test_case "200-mutant smoke corpus" `Quick test_smoke_corpus;
+        ] );
+      ( "inject",
+        [
+          Alcotest.test_case "site discovery" `Quick test_fault_discovery;
+          Alcotest.test_case "stray store detected" `Quick test_fault_detected;
+          Alcotest.test_case "contract lie detected" `Quick
+            test_fault_contract_lie_detected;
+          Alcotest.test_case "minimize to one site" `Quick
+            test_fault_minimize_single_site;
+          Alcotest.test_case "clean edit not flagged" `Quick
+            test_fault_clean_not_flagged;
+          Alcotest.test_case "triage dedup" `Quick test_fault_triage_dedup;
+          Alcotest.test_case "reproducer roundtrip" `Quick
+            test_fault_repro_roundtrip;
+          Alcotest.test_case "polymorphic scheduler" `Quick
+            test_sched_polymorphic_arms;
         ] );
     ]

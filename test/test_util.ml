@@ -105,6 +105,33 @@ let test_pool_env_jobs () =
   Alcotest.(check (option int)) "over the cap" None (Pool.env_jobs ());
   Unix.putenv "EEL_JOBS" ""
 
+let test_pool_cgroup_parsers () =
+  (* cgroup v2 cpu.max: "QUOTA PERIOD" or "max PERIOD" *)
+  Alcotest.(check (option int)) "2 cores" (Some 2)
+    (Pool.parse_cpu_max "200000 100000");
+  Alcotest.(check (option int)) "fractional rounds up" (Some 1)
+    (Pool.parse_cpu_max "25000 100000");
+  Alcotest.(check (option int)) "2.5 cores rounds up" (Some 3)
+    (Pool.parse_cpu_max "250000 100000");
+  Alcotest.(check (option int)) "unlimited" None
+    (Pool.parse_cpu_max "max 100000");
+  Alcotest.(check (option int)) "trailing newline" (Some 1)
+    (Pool.parse_cpu_max "100000 100000\n");
+  Alcotest.(check (option int)) "garbage" None (Pool.parse_cpu_max "banana");
+  Alcotest.(check (option int)) "empty" None (Pool.parse_cpu_max "");
+  (* cgroup v1 cfs_quota_us / cfs_period_us: -1 quota = unlimited *)
+  Alcotest.(check (option int)) "v1 4 cores" (Some 4)
+    (Pool.parse_cfs ~quota:"400000" ~period:"100000");
+  Alcotest.(check (option int)) "v1 unlimited" None
+    (Pool.parse_cfs ~quota:"-1" ~period:"100000");
+  Alcotest.(check (option int)) "v1 zero period" None
+    (Pool.parse_cfs ~quota:"100000" ~period:"0");
+  (* the clamped recommendation is sane whatever this host's cgroup says *)
+  let n = Pool.recommended_domain_count () in
+  Alcotest.(check bool) "recommendation >= 1" true (n >= 1);
+  Alcotest.(check bool) "recommendation <= runtime's" true
+    (n <= max 1 (Domain.recommended_domain_count ()))
+
 let test_pool_metrics_merge () =
   (* worker domains bump domain-local counters; the join hook must absorb
      every worker's delta into the caller's registry, summing to exactly
@@ -176,6 +203,8 @@ let () =
           Alcotest.test_case "more jobs than items" `Quick
             test_pool_more_jobs_than_items;
           Alcotest.test_case "EEL_JOBS parsing" `Quick test_pool_env_jobs;
+          Alcotest.test_case "cgroup quota parsing" `Quick
+            test_pool_cgroup_parsers;
           Alcotest.test_case "metrics merge at join" `Quick
             test_pool_metrics_merge;
           Alcotest.test_case "worker exception propagates" `Quick
