@@ -2,7 +2,7 @@
 # build everything, run the test suites, the never-crash fuzz corpus, and
 # the observability trace smoke test.
 
-.PHONY: all build test fuzz diff-smoke equiv-smoke trace-smoke inject-smoke perf perf-smoke check clean
+.PHONY: all build test fuzz diff-smoke equiv-smoke trace-smoke inject-smoke report-smoke perf perf-smoke perf-regress check clean
 
 all: build
 
@@ -44,6 +44,18 @@ inject-smoke:
 	dune build bin/eel_fuzz.exe
 	./_build/default/bin/eel_fuzz.exe --inject --budget 48 --out _build/inject
 
+# Observability report gate: run the hotspot + overhead report over the
+# whole corpus (all tools), export the flamegraph / speedscope / ledger
+# JSON artifacts into _build, and structurally validate the profile
+# exports. eel_report itself exits non-zero if any tool/program pair is
+# not equivalent or any overhead is unexplained.
+report-smoke:
+	dune build bin/eel_report.exe bin/trace_check.exe
+	./_build/default/bin/eel_report.exe --flame _build/report.flame \
+	  --speedscope _build/report.speedscope.json \
+	  --json _build/report-ledger.json | tee _build/report.txt
+	./_build/default/bin/trace_check.exe _build/report.flame _build/report.speedscope.json
+
 # Performance trajectory: the predecode + multicore fan-out experiment,
 # persisted to BENCH_perf.json at the repo root (methodology in
 # EXPERIMENTS.md). perf-smoke is the tiny-budget CI variant: it fails if
@@ -56,8 +68,18 @@ perf-smoke:
 	dune build bench/main.exe
 	EEL_PERF_BUDGET=smoke ./_build/default/bench/main.exe perf
 
+# Perf-regression gate: remeasure the perf experiment's throughput kernel
+# and compare against the committed BENCH_perf.json (or EEL_PERF_BASELINE)
+# within EEL_REGRESS_TOL (default 12%); appends a line to the trajectory
+# history (EEL_PERF_HISTORY, default _build/perf-history.jsonl). Scaling
+# assertions are skipped on 1-core machines / contended baselines, or with
+# EEL_REGRESS_SCALING=skip.
+perf-regress:
+	dune build bench/regress.exe
+	./_build/default/bench/regress.exe
+
 check:
-	dune build && dune runtest && dune build @fuzz && dune build @diff && dune build @equiv && $(MAKE) trace-smoke && $(MAKE) inject-smoke
+	dune build && dune runtest && dune build @fuzz && dune build @diff && dune build @equiv && $(MAKE) trace-smoke && $(MAKE) inject-smoke && $(MAKE) report-smoke
 
 clean:
 	dune clean

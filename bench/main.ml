@@ -494,28 +494,21 @@ let equiv () =
         and bad = ref 0
         and masked = ref 0 in
         List.iter
-          (fun (_, exe) ->
+          (fun (prog, exe) ->
             incr total;
-            match Eel_tools.Toolbox.apply tool mach exe with
-            | Error m -> failwith ("bench: " ^ m)
-            | Ok ap -> (
-                match
-                  Eel_diffexec.Diffexec.verify_edit
-                    ~norm_b:ap.Eel_tools.Toolbox.ap_norm_b
-                    ~block_of:ap.Eel_tools.Toolbox.ap_block_of
-                    ~contract:ap.Eel_tools.Toolbox.ap_contract exe
-                    ap.Eel_tools.Toolbox.ap_edited
-                with
-                | Error e ->
-                    failwith ("bench: " ^ Eel_robust.Diag.error_message e)
-                | Ok er ->
-                    masked := !masked + er.Eel_diffexec.Diffexec.er_masked;
-                    if
-                      er.Eel_diffexec.Diffexec.er_report
-                        .Eel_diffexec.Diffexec.rp_verdict
-                      = Eel_diffexec.Diffexec.Equivalent
-                    then incr ok
-                    else incr bad))
+            (* measure (not bare verify) so the eel.ledger.* overhead
+               accounting lands in bench-metrics.json alongside eel.equiv.* *)
+            match Eel_tools.Toolbox.measure ~prog tool mach exe with
+            | Error e -> failwith ("bench: " ^ Eel_robust.Diag.error_message e)
+            | Ok ms ->
+                let er = ms.Eel_tools.Toolbox.ms_report in
+                masked := !masked + er.Eel_diffexec.Diffexec.er_masked;
+                if
+                  er.Eel_diffexec.Diffexec.er_report
+                    .Eel_diffexec.Diffexec.rp_verdict
+                  = Eel_diffexec.Diffexec.Equivalent
+                then incr ok
+                else incr bad)
           corpus;
         (tool, !total, !ok, !bad, !masked))
       Eel_tools.Toolbox.names
@@ -537,141 +530,39 @@ let perf_path =
   | Some p -> p
   | None -> "BENCH_perf.json"
 
-let median xs =
-  let a = Array.of_list xs in
-  Array.sort compare a;
-  a.(Array.length a / 2)
-
+(* The measurement kernel lives in Perf_common, shared with the regression
+   gate (bench/regress.exe) so both read the same workload the same way. *)
 let perf () =
   print_endline
     "=== perf: predecoded execution + multicore verification fan-out ===";
-  let smoke = Sys.getenv_opt "EEL_PERF_BUDGET" = Some "smoke" in
-  let samples = if smoke then 3 else 7 in
-  let warmup = if smoke then 1 else 2 in
-  (* throughput: steady-state emulated MIPS on a loop-heavy workload,
-     predecode on vs off. Emu.load (where predecoding happens) is timed
-     separately below, so the MIPS numbers measure pure execution. *)
-  let exe =
-    assemble
-      (Gen.memory_bound
-         ~iters:(if smoke then 400 else 4000)
-         ~size_words:1024 ())
-  in
-  let time_run ~predecode =
-    let t = Emu.load ~predecode exe in
-    let t0 = Unix.gettimeofday () in
-    let r = Emu.run t in
-    (Unix.gettimeofday () -. t0, r.Emu.insns)
-  in
-  let measure ~predecode =
-    for _ = 1 to warmup do
-      ignore (time_run ~predecode)
-    done;
-    let runs = List.init samples (fun _ -> time_run ~predecode) in
-    (median (List.map fst runs), snd (List.hd runs))
-  in
-  let t_on, insns = measure ~predecode:true in
-  let t_off, _ = measure ~predecode:false in
-  let mips t = float_of_int insns /. t /. 1e6 in
-  let speedup = t_off /. t_on in
-  Printf.printf "workload: %d dynamic instructions (median of %d, %d warmup)\n"
-    insns samples warmup;
-  Printf.printf "predecode ON:  %8.1f MIPS  (%.4f s)\n" (mips t_on) t_on;
-  Printf.printf "predecode OFF: %8.1f MIPS  (%.4f s)\n" (mips t_off) t_off;
+  let smoke = Perf_common.smoke () in
+  let th = Perf_common.measure_throughput ~smoke () in
+  let speedup = Perf_common.speedup th in
+  Printf.printf "workload: %d dynamic instructions (best of %d, %d warmup)\n"
+    th.Perf_common.th_insns th.Perf_common.th_samples th.Perf_common.th_warmup;
+  Printf.printf "predecode ON:  %8.1f MIPS  (%.4f s)\n"
+    (Perf_common.mips th th.Perf_common.th_on)
+    th.Perf_common.th_on;
+  Printf.printf "predecode OFF: %8.1f MIPS  (%.4f s)\n"
+    (Perf_common.mips th th.Perf_common.th_off)
+    th.Perf_common.th_off;
   Printf.printf "throughput speedup: %.2fx\n" speedup;
-  (* the load-time cost of building the predecode array, for honesty about
-     the tradeoff (it is amortized over the whole run) *)
-  let time_loads ~predecode =
-    let n = 10 in
-    let t0 = Unix.gettimeofday () in
-    for _ = 1 to n do
-      ignore (Emu.load ~predecode exe)
-    done;
-    (Unix.gettimeofday () -. t0) /. float_of_int n
-  in
-  let load_on = time_loads ~predecode:true in
-  let load_off = time_loads ~predecode:false in
-  Printf.printf "load time: %.4f s predecoded vs %.4f s plain\n" load_on
-    load_off;
-  (* multicore fan-out: the verification kernel the fuzz and diff drivers
-     shard (identity round-trip per program), swept at 1/2/4 domains.
-     Each job assembles its own program, so nothing is shared. *)
-  let cores = Domain.recommended_domain_count () in
-  let fuel = if smoke then 50_000 else 300_000 in
-  let repeat = if smoke then 1 else 3 in
-  let work =
-    Array.of_list
-      (List.concat (List.init repeat (fun _ -> Eel_diffexec.Corpus.sources)))
-  in
-  let sweep jobs =
-    let t0 = Unix.gettimeofday () in
-    let res =
-      Eel_util.Pool.map ~jobs
-        (fun (name, src) ->
-          let exe = assemble src in
-          match
-            Eel_diffexec.Diffexec.identity_roundtrip ~fuel ~mach exe
-          with
-          | Ok _ -> true
-          | Error e ->
-              failwith
-                ("perf sweep " ^ name ^ ": "
-                ^ Eel_robust.Diag.error_message e))
-        work
-    in
-    if not (Array.for_all (fun b -> b) res) then
-      failwith "perf sweep: oracle refused a corpus program";
-    Unix.gettimeofday () -. t0
-  in
-  let scale_jobs = [ 1; 2; 4 ] in
-  let sweep_samples = if smoke then 1 else 3 in
-  let times =
-    List.map
-      (fun j ->
-        ignore (sweep j);
-        median (List.init sweep_samples (fun _ -> sweep j)))
-      scale_jobs
-  in
-  let t1 = List.hd times in
+  Printf.printf "load time: %.4f s predecoded vs %.4f s plain\n"
+    th.Perf_common.th_load_on th.Perf_common.th_load_off;
+  let sc = Perf_common.measure_scaling ~smoke () in
+  let cores = sc.Perf_common.sc_cores in
   Printf.printf "verification sweep (%d jobs x identity round-trip, %d cores):\n"
-    (Array.length work) cores;
-  List.iter2
-    (fun j t ->
-      Printf.printf "  %d domain%s: %.4f s  (%.2fx vs 1)\n" j
+    sc.Perf_common.sc_sweep_jobs cores;
+  List.iter
+    (fun (j, t) ->
+      Printf.printf "  %d domain%s: %.4f s  (%.2fx vs 1)%s\n" j
         (if j = 1 then " " else "s")
-        t (t1 /. t))
-    scale_jobs times;
-  (* persist the trajectory point *)
-  let buf = Buffer.create 1024 in
-  Printf.bprintf buf
-    "{\n\
-    \  \"experiment\": \"perf\",\n\
-    \  \"cores\": %d,\n\
-    \  \"smoke\": %b,\n\
-    \  \"methodology\": { \"statistic\": \"median\", \"samples\": %d, \
-     \"warmup\": %d },\n"
-    cores smoke samples warmup;
-  Printf.bprintf buf
-    "  \"throughput\": {\n\
-    \    \"workload_insns\": %d,\n\
-    \    \"predecode_on\": { \"seconds\": %.6f, \"mips\": %.2f, \
-     \"load_seconds\": %.6f },\n\
-    \    \"predecode_off\": { \"seconds\": %.6f, \"mips\": %.2f, \
-     \"load_seconds\": %.6f },\n\
-    \    \"speedup\": %.3f\n\
-    \  },\n"
-    insns t_on (mips t_on) load_on t_off (mips t_off) load_off speedup;
-  Printf.bprintf buf "  \"scaling\": { \"sweep_jobs\": %d, \"fuel\": %d, \"points\": [%s] }\n}\n"
-    (Array.length work) fuel
-    (String.concat ", "
-       (List.map2
-          (fun j t ->
-            Printf.sprintf
-              "{ \"jobs\": %d, \"seconds\": %.6f, \"speedup_vs_1\": %.3f }" j
-              t (t1 /. t))
-          scale_jobs times));
+        t
+        (Perf_common.point_speedup sc t)
+        (if Perf_common.point_contended sc j then "  [contended]" else ""))
+    sc.Perf_common.sc_points;
   let oc = open_out perf_path in
-  output_string oc (Buffer.contents buf);
+  output_string oc (Perf_common.trajectory_json ~cores ~smoke th sc);
   close_out oc;
   Printf.printf "wrote perf trajectory to %s\n\n" perf_path;
   if smoke && speedup < 1.0 then (

@@ -1,0 +1,240 @@
+(* Perf-regression gate (`make perf-regress`): measure a fresh perf point
+   with the same kernel as the perf experiment (Perf_common) and compare it
+   against the committed baseline BENCH_perf.json with per-metric
+   thresholds. Every run appends one JSONL line to a trajectory history, so
+   drift is visible over time, not just run-to-run.
+
+   Checks:
+     - absolute: the predecoded path must not be slower than
+       decode-per-step (speedup >= 1.0) — same invariant as perf-smoke;
+     - relative: fresh predecode speedup >= baseline speedup * (1 - TOL)
+       (TOL defaults to 0.12; a seeded >=20% throughput regression — see
+       EEL_PERF_HANDICAP in Perf_common — must fail);
+     - informational: absolute MIPS is machine-dependent, so a large drop
+       (>50% below baseline) only warns;
+     - scaling: per-domain speedup_vs_1 within 25% of the baseline point,
+       skipped for points tagged "contended": true (measured with more
+       domains than cores: GC-handshake slowdown, not regression), on
+       1-core machines, and under EEL_REGRESS_SCALING=skip.
+
+   Environment: EEL_PERF_BASELINE (default BENCH_perf.json),
+   EEL_REGRESS_TOL, EEL_REGRESS_SCALING=skip, EEL_PERF_HISTORY (default
+   _build/perf-history.jsonl), plus Perf_common's EEL_PERF_BUDGET /
+   EEL_PERF_HANDICAP. `regress --write-baseline FILE` measures and writes
+   a fresh baseline instead of comparing (the gate's tests use it to
+   compare same-budget measurements on the same machine). *)
+
+module Json = Eel_obs.Json
+
+let fail_usage () =
+  prerr_endline "usage: regress [--write-baseline FILE]";
+  exit 2
+
+let getenv_f name default =
+  match Sys.getenv_opt name with
+  | Some s -> ( match float_of_string_opt s with Some f -> f | None -> default)
+  | None -> default
+
+(* --- baseline parsing ------------------------------------------------ *)
+
+type base_point = { bp_jobs : int; bp_speedup : float; bp_contended : bool }
+
+type baseline = {
+  b_cores : int;
+  b_speedup : float;
+  b_mips_on : float;
+  b_points : base_point list;
+}
+
+let num ctx = function
+  | Some (Json.Num n) -> n
+  | _ -> failwith ("baseline: missing number " ^ ctx)
+
+let parse_baseline src =
+  match Json.parse src with
+  | Error m -> failwith ("baseline: not valid JSON: " ^ m)
+  | Ok root ->
+      let throughput =
+        match Json.member "throughput" root with
+        | Some t -> t
+        | None -> failwith "baseline: no throughput"
+      in
+      let on =
+        match Json.member "predecode_on" throughput with
+        | Some v -> v
+        | None -> failwith "baseline: no predecode_on"
+      in
+      let points =
+        match Json.member "scaling" root with
+        | Some sc -> (
+            match Json.member "points" sc with
+            | Some (Json.Arr ps) ->
+                List.map
+                  (fun p ->
+                    {
+                      bp_jobs = int_of_float (num "jobs" (Json.member "jobs" p));
+                      bp_speedup =
+                        num "speedup_vs_1" (Json.member "speedup_vs_1" p);
+                      bp_contended =
+                        (match Json.member "contended" p with
+                        | Some (Json.Bool b) -> b
+                        | _ -> false);
+                    })
+                  ps
+            | _ -> [])
+        | None -> []
+      in
+      {
+        b_cores = int_of_float (num "cores" (Json.member "cores" root));
+        b_speedup = num "speedup" (Json.member "speedup" throughput);
+        b_mips_on = num "mips" (Json.member "mips" on);
+        b_points = points;
+      }
+
+(* --- history --------------------------------------------------------- *)
+
+let append_history ~pass ~baseline th =
+  let path =
+    match Sys.getenv_opt "EEL_PERF_HISTORY" with
+    | Some p -> p
+    | None -> "_build/perf-history.jsonl"
+  in
+  (try
+     let dir = Filename.dirname path in
+     if dir <> "" && dir <> "." && not (Sys.file_exists dir) then
+       Sys.mkdir dir 0o755
+   with Sys_error _ -> ());
+  try
+    let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+    Printf.fprintf oc
+      "{\"ts\": %.0f, \"speedup\": %.3f, \"mips_on\": %.2f, \"mips_off\": \
+       %.2f, \"smoke\": %b, \"baseline\": \"%s\", \"pass\": %b}\n"
+      (Unix.time ())
+      (Perf_common.speedup th)
+      (Perf_common.mips th th.Perf_common.th_on)
+      (Perf_common.mips th th.Perf_common.th_off)
+      (Perf_common.smoke ()) baseline pass;
+    close_out oc
+  with Sys_error m -> Printf.eprintf "regress: history append failed: %s\n" m
+
+(* --- main ------------------------------------------------------------ *)
+
+let () =
+  let write_baseline = ref "" in
+  (match Array.to_list Sys.argv with
+  | [ _ ] -> ()
+  | [ _; "--write-baseline"; f ] -> write_baseline := f
+  | _ -> fail_usage ());
+  let smoke = Perf_common.smoke () in
+  if !write_baseline <> "" then begin
+    let th = Perf_common.measure_throughput ~smoke () in
+    (* scaling points are optional in a baseline; a gate run against one
+       without them just skips the scaling checks *)
+    let sc =
+      {
+        Perf_common.sc_sweep_jobs = 0;
+        sc_fuel = 0;
+        sc_cores = Domain.recommended_domain_count ();
+        sc_points = [];
+      }
+    in
+    let oc = open_out !write_baseline in
+    output_string oc
+      (Perf_common.trajectory_json ~cores:sc.Perf_common.sc_cores ~smoke th sc);
+    close_out oc;
+    Printf.printf "regress: wrote baseline %s (speedup %.2fx)\n"
+      !write_baseline (Perf_common.speedup th);
+    exit 0
+  end;
+  let baseline_path =
+    match Sys.getenv_opt "EEL_PERF_BASELINE" with
+    | Some p -> p
+    | None -> "BENCH_perf.json"
+  in
+  let base =
+    try
+      let ic = open_in_bin baseline_path in
+      let src =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      parse_baseline src
+    with
+    | Sys_error m ->
+        Printf.eprintf "regress: cannot read baseline %s: %s\n" baseline_path m;
+        exit 2
+    | Failure m ->
+        Printf.eprintf "regress: %s: %s\n" baseline_path m;
+        exit 2
+  in
+  let tol = getenv_f "EEL_REGRESS_TOL" 0.12 in
+  let failures = ref [] in
+  let check name ok detail =
+    Printf.printf "%-34s %s  %s\n" name (if ok then "PASS" else "FAIL") detail;
+    if not ok then failures := name :: !failures
+  in
+  Printf.printf "perf-regress: baseline %s (cores %d), %s budget, tol %.0f%%\n"
+    baseline_path base.b_cores
+    (if smoke then "smoke" else "full")
+    (tol *. 100.);
+  let th = Perf_common.measure_throughput ~smoke () in
+  let speedup = Perf_common.speedup th in
+  check "predecode not slower than decode" (speedup >= 1.0)
+    (Printf.sprintf "%.2fx" speedup);
+  check "throughput speedup vs baseline"
+    (speedup >= base.b_speedup *. (1.0 -. tol))
+    (Printf.sprintf "%.2fx vs %.2fx (floor %.2fx)" speedup base.b_speedup
+       (base.b_speedup *. (1.0 -. tol)));
+  let mips_on = Perf_common.mips th th.Perf_common.th_on in
+  if mips_on < base.b_mips_on *. 0.5 then
+    Printf.printf
+      "%-34s WARN  %.1f MIPS vs baseline %.1f (machine-dependent, not gated)\n"
+      "absolute MIPS" mips_on base.b_mips_on;
+  (* scaling: only meaningful with real cores and an uncontended baseline *)
+  let cores = Domain.recommended_domain_count () in
+  let skip_scaling =
+    Sys.getenv_opt "EEL_REGRESS_SCALING" = Some "skip"
+    || base.b_points = []
+    || cores <= 1
+    || base.b_cores <= 1
+    || List.exists (fun p -> p.bp_contended) base.b_points
+  in
+  if skip_scaling then
+    Printf.printf
+      "%-34s SKIP  %s\n" "scaling speedup per domain count"
+      (if base.b_points = [] then "baseline has no sweep points"
+       else if cores <= 1 || base.b_cores <= 1 then
+         "1-core run: sweep measures GC-handshake contention, not scaling"
+       else if List.exists (fun p -> p.bp_contended) base.b_points then
+         "baseline sweep points tagged contended"
+       else "EEL_REGRESS_SCALING=skip")
+  else begin
+    let jobs_list =
+      List.filter_map
+        (fun p ->
+          if (not p.bp_contended) && p.bp_jobs <= cores then Some p.bp_jobs
+          else None)
+        base.b_points
+    in
+    let sc = Perf_common.measure_scaling ~smoke ~jobs_list () in
+    List.iter
+      (fun (j, t) ->
+        match List.find_opt (fun p -> p.bp_jobs = j) base.b_points with
+        | None -> ()
+        | Some p ->
+            let fresh = Perf_common.point_speedup sc t in
+            check
+              (Printf.sprintf "scaling speedup at %d domains" j)
+              (fresh >= p.bp_speedup *. 0.75)
+              (Printf.sprintf "%.2fx vs %.2fx" fresh p.bp_speedup))
+      sc.Perf_common.sc_points
+  end;
+  let pass = !failures = [] in
+  append_history ~pass ~baseline:baseline_path th;
+  if pass then print_endline "perf-regress: PASS"
+  else begin
+    Printf.printf "perf-regress: FAIL (%s)\n"
+      (String.concat ", " (List.rev !failures));
+    exit 1
+  end

@@ -19,9 +19,11 @@
    the exit status 1.
 
    --json writes one machine-readable JSON object (per-program verdicts +
-   summary) to stdout instead of the table; --metrics dumps the eel.diff.*
-   and eel.equiv.* registry slices at the end; --trace FILE writes the
-   whole run as a Chrome trace timeline. *)
+   summary) to stdout instead of the table; --metrics dumps the eel.diff.*,
+   eel.equiv.* and eel.ledger.* registry slices at the end (metrics merge
+   across domains, so this works at any EEL_JOBS); --trace FILE writes the
+   whole run as a Chrome trace timeline (and pins the sweep to one domain,
+   since span hierarchies don't cross domains). *)
 
 module Sef = Eel_sef.Sef
 module Diag = Eel_robust.Diag
@@ -40,24 +42,15 @@ let run_identity ~fuel exe =
   | Ok rp -> O_report (rp, 0)
   | Error e -> O_error e
 
-let run_tool ~fuel ~tool exe =
-  let applied =
-    Diag.guard (fun () ->
-        match Toolbox.apply tool Eel_sparc.Mach.mach exe with
-        | Ok ap -> ap
-        | Error msg -> Diag.fail (Diag.Exe_error { what = msg }))
-  in
-  match applied with
+(* measure (not bare verify_edit) so every --tool run also populates the
+   eel.ledger.* overhead accounting, merged across domains at the join *)
+let run_tool ~fuel ~tool ~prog exe =
+  match Toolbox.measure ~fuel ~prog tool Eel_sparc.Mach.mach exe with
+  | Ok ms ->
+      O_report
+        (ms.Toolbox.ms_report.Diffexec.er_report,
+         ms.Toolbox.ms_report.Diffexec.er_masked)
   | Error e -> O_error e
-  | Ok ap -> (
-      match
-        Diffexec.verify_edit ~fuel ~norm_b:ap.Toolbox.ap_norm_b
-          ~block_of:ap.Toolbox.ap_block_of ~contract:ap.Toolbox.ap_contract
-          exe ap.Toolbox.ap_edited
-      with
-      | Ok er ->
-          O_report (er.Diffexec.er_report, er.Diffexec.er_masked)
-      | Error e -> O_error e)
 
 let json_escape = Trace.json_escape
 
@@ -83,7 +76,7 @@ let () =
       ("--verbose", Arg.Set verbose, "print event/instruction counts per program");
       ( "--metrics",
         Arg.Set show_metrics,
-        "dump the eel.diff.* / eel.equiv.* metrics at the end" );
+        "dump the eel.diff.* / eel.equiv.* / eel.ledger.* metrics at the end" );
       ("--trace", Arg.Set_string trace_file, "FILE to write a Chrome trace timeline to");
       ( "--reproduce",
         Arg.Set_string reproduce,
@@ -141,21 +134,23 @@ let () =
     | [] -> List.map (fun (n, e) -> (n, Ok e)) (Corpus.all ())
     | fs -> List.map (fun f -> (Filename.basename f, Sef.load_file f)) fs
   in
-  let oracle =
+  let oracle name =
     if !tool = "" then run_identity ~fuel:!fuel
-    else run_tool ~fuel:!fuel ~tool:!tool
+    else run_tool ~fuel:!fuel ~tool:!tool ~prog:name
   in
   (* fan the per-program verifications across domains; results come back in
      program order, and all counting/printing happens serially after the
-     join, so the output is byte-identical whatever EEL_JOBS says. Tracing
-     forces a serial run: worker domains have no ambient tracer and their
-     spans would be lost. *)
+     join, so the output is byte-identical whatever EEL_JOBS says. Metrics
+     and ledger entries live in Domain.DLS and merge deterministically at
+     the join, so --metrics works at any domain count; only --trace (span
+     hierarchies) forces a serial run, because worker domains have no
+     ambient tracer and their spans would be lost. *)
   let jobs = if tracer <> None then Some 1 else None in
   let results =
     Eel_util.Pool.map_list ?jobs
       (fun (name, img) ->
         let outcome =
-          match img with Error e -> O_error e | Ok exe -> oracle exe
+          match img with Error e -> O_error e | Ok exe -> oracle name exe
         in
         (name, outcome))
       programs
@@ -231,7 +226,10 @@ let () =
           String.length name >= String.length p
           && String.sub name 0 (String.length p) = p
         in
-        if has_prefix "eel.diff" || has_prefix "eel.equiv" then
+        if
+          has_prefix "eel.diff" || has_prefix "eel.equiv"
+          || has_prefix "eel.ledger"
+        then
           match v with
           | Metrics.Int n -> Printf.printf "  %-32s %d\n" name n
           | Metrics.Float f -> Printf.printf "  %-32s %g\n" name f

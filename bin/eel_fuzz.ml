@@ -13,7 +13,10 @@
    with no diagnostics, degraded = loaded but some analysis was degraded,
    rejected = structured refusal) and are reported as a table at the end —
    the coverage signal the ROADMAP's coverage-guided mutation item needs.
-   --trace FILE writes the whole corpus run as a Chrome trace timeline. *)
+   --metrics dumps the registry at the end (works at any EEL_JOBS — metrics
+   merge at pool joins); --trace FILE writes the whole corpus run as a
+   Chrome trace timeline and pins the sweep to one domain, since span
+   hierarchies don't cross domains. *)
 
 module Sef = Eel_sef.Sef
 module Diag = Eel_robust.Diag
@@ -152,6 +155,7 @@ let () =
   let tool = ref "" in
   let inject = ref false and out_dir = ref "_build/inject" in
   let budget = ref 48 in
+  let show_metrics = ref false in
   Arg.parse
     [
       ("--count", Arg.Set_int count, "NUMBER of mutants (default 200)");
@@ -182,11 +186,34 @@ let () =
       ( "--budget",
         Arg.Set_int budget,
         "ATTEMPTS for the guided hunt in --inject mode (default 48)" );
+      ( "--metrics",
+        Arg.Set show_metrics,
+        "dump the fuzz.* / eel.* metrics registry at the end (merges across \
+         domains; works at any EEL_JOBS)" );
     ]
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
     "eel_fuzz: assert the front end never crashes on mutated executables";
   let tracer = if !trace_file <> "" then Some (Trace.create ()) else None in
   Trace.set_current tracer;
+  (* metrics (and ledger/hotspot data) live in Domain.DLS and merge
+     deterministically at pool joins, so --metrics is jobs-agnostic; only
+     --trace pins the run to one domain (worker domains have no ambient
+     tracer, their span hierarchies would be lost) *)
+  let dump_metrics () =
+    if !show_metrics then
+      List.iter
+        (fun (name, v) ->
+          let has_prefix p =
+            String.length name >= String.length p
+            && String.sub name 0 (String.length p) = p
+          in
+          if has_prefix "fuzz." || has_prefix "eel." then
+            match v with
+            | Metrics.Int n -> Printf.printf "  %-32s %d\n" name n
+            | Metrics.Float f -> Printf.printf "  %-32s %g\n" name f
+            | Metrics.Hist _ -> ())
+        (Metrics.snapshot ())
+  in
   let base =
     Eel_workload.Gen.assemble_program
       { Eel_workload.Gen.default with seed = !seed; routines = !routines }
@@ -257,6 +284,7 @@ let () =
             r.Fault.rx_verdict r.Fault.rx_dclass r.Fault.rx_anchor
             r.Fault.rx_desc)
         o.Fault.o_repros;
+    dump_metrics ();
     (match tracer with
     | Some tr -> Trace.write_chrome_json tr !trace_file
     | None -> ());
@@ -356,6 +384,7 @@ let () =
     if !violations > 0 then
       Printf.printf "contract violations found: %d (failing the run)\n"
         !violations;
+    dump_metrics ();
     (match tracer with
     | Some tr -> Trace.write_chrome_json tr !trace_file
     | None -> ());
@@ -416,6 +445,7 @@ let () =
       | [ s; d; r ] -> Printf.printf "%-22s %9d %9d %9d\n" kname s d r
       | _ -> assert false)
     classes;
+  dump_metrics ();
   (match tracer with
   | Some tr -> Trace.write_chrome_json tr !trace_file
   | None -> ());

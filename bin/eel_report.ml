@@ -1,0 +1,279 @@
+(* Observability report: one human-readable rollup of a corpus run — where
+   the dynamic instructions went (calling-context hot-path attribution) and
+   what each instrumentation tool costs (the overhead ledger), with the
+   divergence/violation summary the oracle produced along the way.
+
+   Two phases, both fanned across domains by Pool with DLS-merged results
+   (output is byte-identical at any EEL_JOBS):
+
+     1. hotspot: every program runs under the emulator's ground-truth
+        profiler; the per-run calling-context tree is named via the SEF
+        symbol table and merged into one corpus-wide Hotspot tree,
+        exportable as a collapsed-stack flamegraph (--flame) or speedscope
+        JSON (--speedscope).
+
+     2. ledger: every (tool x program) pair goes through Toolbox.measure —
+        instrument, verify under the tool's contract with both sides
+        profiled, and ledger the static/dynamic overhead. The report's
+        per-tool table reproduces the shape of the paper's qpt overhead
+        tables, and the "unexpl" column is the cross-check: extra store
+        instructions not explained by the contract's masked events (always
+        0 for an honest tool).
+
+   Deliberately no wall-clock numbers anywhere: everything reported is a
+   deterministic instruction/byte count, so re-runs diff cleanly. *)
+
+module Sef = Eel_sef.Sef
+module Diag = Eel_robust.Diag
+module Diffexec = Eel_diffexec.Diffexec
+module Corpus = Eel_diffexec.Corpus
+module Toolbox = Eel_tools.Toolbox
+module Emu = Eel_emu.Emu
+module Hotspot = Eel_obs.Hotspot
+module Ledger = Eel_obs.Ledger
+
+type source = Src of string | File of string
+
+let load = function
+  | Src src -> (
+      match Eel_sparc.Asm.assemble src with
+      | Ok exe -> Ok exe
+      | Error m -> Error (Diag.Exe_error { what = "assemble: " ^ m }))
+  | File f -> Sef.load_file f
+
+(* Name a pc from the image's symbol table: exact Func/Label match, else
+   nearest preceding symbol as "name+0x<off>", else bare hex. *)
+let namer (exe : Sef.t) =
+  let syms =
+    List.filter
+      (fun s -> s.Sef.kind = Sef.Func || s.Sef.kind = Sef.Label)
+      exe.Sef.symbols
+    |> List.sort (fun a b -> compare a.Sef.value b.Sef.value)
+    |> Array.of_list
+  in
+  fun pc ->
+    let n = Array.length syms in
+    let rec best lo hi acc =
+      if lo > hi then acc
+      else
+        let mid = (lo + hi) / 2 in
+        if syms.(mid).Sef.value <= pc then best (mid + 1) hi (Some mid)
+        else best lo (mid - 1) acc
+    in
+    match best 0 (n - 1) None with
+    | Some i when syms.(i).Sef.value = pc -> syms.(i).Sef.sym_name
+    | Some i -> Printf.sprintf "%s+0x%x" syms.(i).Sef.sym_name (pc - syms.(i).Sef.value)
+    | None -> Printf.sprintf "0x%x" pc
+
+let () =
+  Printexc.record_backtrace true;
+  let fuel = ref Diffexec.default_fuel in
+  let top = ref 10 in
+  let tools = ref [] in
+  let flame = ref "" and speedscope = ref "" and json_out = ref "" in
+  let files = ref [] in
+  Arg.parse
+    [
+      ( "--fuel",
+        Arg.Set_int fuel,
+        Printf.sprintf "FUEL per-run instruction budget (default %d)"
+          Diffexec.default_fuel );
+      ("--top", Arg.Set_int top, "N hot routines to list (default 10)");
+      ( "--tool",
+        Arg.String (fun t -> tools := t :: !tools),
+        Printf.sprintf
+          "NAME restrict the overhead ledger to this tool (repeatable; \
+           default: all of %s)"
+          (String.concat ", " Toolbox.names) );
+      ("--flame", Arg.Set_string flame, "FILE write a collapsed-stack flamegraph");
+      ( "--speedscope",
+        Arg.Set_string speedscope,
+        "FILE write the merged profile as speedscope JSON" );
+      ( "--json",
+        Arg.Set_string json_out,
+        "FILE write the full report (hotspot + ledger) as JSON ('-' = stdout)"
+      );
+    ]
+    (fun f -> files := f :: !files)
+    "eel_report [--tool NAME] [FILE.sef ...]: hot-path attribution + \
+     instrumentation-overhead report (default: built-in corpus)";
+  let tools =
+    match List.rev !tools with
+    | [] | [ "all" ] -> Toolbox.names
+    | ts ->
+        List.iter
+          (fun t ->
+            if not (List.mem t Toolbox.names) then (
+              Printf.eprintf "eel_report: unknown tool %s (expected one of: %s)\n"
+                t
+                (String.concat ", " Toolbox.names);
+              exit 2))
+          ts;
+        ts
+  in
+  let programs =
+    match List.rev !files with
+    | [] -> List.map (fun (n, src) -> (n, Src src)) Corpus.sources
+    | fs -> List.map (fun f -> (Filename.basename f, File f)) fs
+  in
+  (* ---- phase 1: hot-path attribution (one profiled run per program) ---- *)
+  let hot_rows =
+    Eel_util.Pool.map_list
+      (fun (prog, src) ->
+        match load src with
+        | Error e -> (prog, Error (Diag.error_message e))
+        | Ok exe -> (
+            match Diffexec.execute ~fuel:!fuel ~profile:true exe with
+            | Error e -> (prog, Error (Diag.error_message e))
+            | Ok r ->
+                let p = Option.get r.Diffexec.r_profile in
+                let name_of = namer exe in
+                Hotspot.record
+                  (Emu.profile_hotspot ~name_of
+                     ~root:(name_of exe.Sef.entry) ~prefix:[ prog ] p);
+                ( prog,
+                  Ok
+                    ( Format.asprintf "%a" Diffexec.pp_stop r.Diffexec.r_stop,
+                      p.Emu.p_insns ) )))
+      programs
+  in
+  let hot = Hotspot.ambient () in
+  let grand_total = Hotspot.total hot in
+  (* ---- phase 2: overhead ledger (tool x program sweep) ---- *)
+  let pairs =
+    List.concat_map (fun t -> List.map (fun (p, s) -> (t, p, s)) programs) tools
+  in
+  let ledger_rows =
+    Eel_util.Pool.map_list
+      (fun (tool, prog, src) ->
+        match load src with
+        | Error e -> (tool, prog, Error (Diag.error_message e))
+        | Ok exe -> (
+            match Toolbox.measure ~fuel:!fuel ~prog tool Eel_sparc.Mach.mach exe with
+            | Error e -> (tool, prog, Error (Diag.error_message e))
+            | Ok ms -> (tool, prog, Ok ms.Toolbox.ms_entry)))
+      pairs
+  in
+  let entries = Ledger.entries () in
+  (* ---- render ---- *)
+  Printf.printf "eel_report: %d programs x %d tools, fuel %d\n\n"
+    (List.length programs) (List.length tools) !fuel;
+  Printf.printf "Programs (dynamic instructions under the profiler):\n";
+  List.iter
+    (fun (prog, res) ->
+      match res with
+      | Ok (stop, insns) -> Printf.printf "  %-14s %9d  %s\n" prog insns stop
+      | Error m -> Printf.printf "  %-14s     ERROR  %s\n" prog m)
+    hot_rows;
+  Printf.printf "\nTop %d hot routines (of %d attributed instructions):\n"
+    !top grand_total;
+  Printf.printf "  %-28s %10s %10s %6s  %s\n" "routine" "self" "total" "%"
+    "mix (top classes)";
+  let rstats =
+    List.filter (fun r -> r.Hotspot.rs_self > 0) (Hotspot.routines hot)
+    |> List.sort (fun a b ->
+           match compare b.Hotspot.rs_self a.Hotspot.rs_self with
+           | 0 -> compare a.Hotspot.rs_name b.Hotspot.rs_name
+           | c -> c)
+  in
+  let class_names = Hotspot.class_names hot in
+  let mix_string cs =
+    let named =
+      Array.to_list (Array.mapi (fun i n -> (class_names.(i), n)) cs)
+      |> List.filter (fun (_, n) -> n > 0)
+      |> List.sort (fun (na, a) (nb, b) ->
+             match compare b a with 0 -> compare na nb | c -> c)
+    in
+    let rec take n = function
+      | [] -> []
+      | _ when n = 0 -> []
+      | x :: tl -> x :: take (n - 1) tl
+    in
+    String.concat " "
+      (List.map (fun (n, c) -> Printf.sprintf "%s:%d" n c) (take 3 named))
+  in
+  List.iteri
+    (fun i r ->
+      if i < !top then
+        Printf.printf "  %-28s %10d %10d %5.1f%%  %s\n" r.Hotspot.rs_name
+          r.Hotspot.rs_self r.Hotspot.rs_total
+          (if grand_total = 0 then 0.0
+           else 100.0 *. float_of_int r.Hotspot.rs_self /. float_of_int grand_total)
+          (mix_string r.Hotspot.rs_classes))
+    rstats;
+  Printf.printf
+    "\nInstrumentation overhead (static bytes + dynamic cost per tool,\n\
+     cross-checked against the contract's masked events; unexpl must be 0):\n";
+  print_string
+    (Format.asprintf "%a"
+       (fun ppf es -> Ledger.pp_tool_table ppf ~order:Toolbox.names es)
+       entries);
+  (* divergence/violation summary *)
+  let bad_entries =
+    List.filter (fun e -> e.Ledger.le_verdict <> "equivalent") entries
+  in
+  let unexplained =
+    List.fold_left (fun acc e -> acc + abs e.Ledger.le_unexplained) 0 entries
+  in
+  let errors =
+    List.filter (fun (_, _, r) -> Result.is_error r) ledger_rows
+    @ List.filter_map
+        (fun (p, r) ->
+          match r with Error m -> Some ("run", p, Error m) | Ok _ -> None)
+        hot_rows
+  in
+  Printf.printf "\nVerdicts: %d/%d equivalent"
+    (List.length entries - List.length bad_entries)
+    (List.length entries);
+  if bad_entries = [] && errors = [] && unexplained = 0 then
+    Printf.printf "; no divergences, no violations, 0 unexplained overhead\n"
+  else begin
+    Printf.printf "\n";
+    List.iter
+      (fun e ->
+        Printf.printf "  %-8s %-14s %s\n" e.Ledger.le_tool e.Ledger.le_prog
+          e.Ledger.le_verdict)
+      bad_entries;
+    List.iter
+      (fun (tool, prog, r) ->
+        match r with
+        | Error m -> Printf.printf "  %-8s %-14s ERROR %s\n" tool prog m
+        | Ok _ -> ())
+      errors;
+    if unexplained <> 0 then
+      Printf.printf "  %d unexplained extra store instructions\n" unexplained
+  end;
+  (* ---- exports ---- *)
+  let write_file path contents =
+    let oc = open_out path in
+    output_string oc contents;
+    close_out oc
+  in
+  if !flame <> "" then write_file !flame (Hotspot.collapsed hot);
+  if !speedscope <> "" then
+    write_file !speedscope (Hotspot.speedscope_json ~name:"eel corpus" hot);
+  if !json_out <> "" then begin
+    let esc = Hotspot.json_escape in
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf "{\"hotspot\": {";
+    Buffer.add_string buf (Printf.sprintf "\"total\": %d, \"routines\": [" grand_total);
+    List.iteri
+      (fun i r ->
+        if i > 0 then Buffer.add_string buf ", ";
+        Buffer.add_string buf
+          (Printf.sprintf "{\"name\": \"%s\", \"self\": %d, \"total\": %d}"
+             (esc r.Hotspot.rs_name) r.Hotspot.rs_self r.Hotspot.rs_total))
+      rstats;
+    Buffer.add_string buf "]},\n \"ledger\": ";
+    Buffer.add_string buf (Ledger.to_json entries);
+    Buffer.add_string buf
+      (Printf.sprintf
+         ",\n \"summary\": {\"programs\": %d, \"tools\": %d, \"entries\": %d, \
+          \"equivalent\": %d, \"errors\": %d, \"unexplained\": %d}}\n"
+         (List.length programs) (List.length tools) (List.length entries)
+         (List.length entries - List.length bad_entries)
+         (List.length errors) unexplained);
+    if !json_out = "-" then print_string (Buffer.contents buf)
+    else write_file !json_out (Buffer.contents buf)
+  end;
+  if bad_entries <> [] || errors <> [] || unexplained <> 0 then exit 1

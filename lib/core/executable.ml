@@ -595,6 +595,18 @@ let edited_address_map t =
   finalize t;
   match t.addr_map with Some map -> map | None -> assert false
 
+(** [edited_growth t] — per-routine static cost of the accumulated edits:
+    [(name, original bytes, edited bytes)] for every routine an edited form
+    was placed for, sorted by name. The overhead ledger's "routines
+    touched" and static-size columns come from here. *)
+let edited_growth t =
+  finalize t;
+  List.map
+    (fun ((r : routine), (ed : Edit.edited), _base) ->
+      (r.r_name, r.r_hi - r.r_lo, Edit.size_bytes ed))
+    t.placed
+  |> List.sort compare
+
 (** [inverse_address_norm t] — a value normalizer for the differential
     oracle: edited instruction addresses map back to their original ones,
     anything else passes through. An edited run that spills a code pointer

@@ -76,6 +76,8 @@ type run = {
   r_total : int;  (** all events, including any dropped past the bound *)
   r_truncated : bool;
   r_filtered : int;  (** events a contract filter masked at record time *)
+  r_filtered_stores : int;  (** masked events that were stores *)
+  r_filtered_traps : int;  (** masked events that were traps *)
   r_out : string;
   r_insns : int;
   r_regs : int array;  (** final register file *)
@@ -130,6 +132,8 @@ let execute ?(fuel = default_fuel) ?limit ?headroom ?(profile = false) ?filter
           r_total = Emu.obs_total log;
           r_truncated = Emu.obs_truncated log;
           r_filtered = Emu.obs_filtered log;
+          r_filtered_stores = Emu.obs_filtered_stores log;
+          r_filtered_traps = Emu.obs_filtered_traps log;
           r_out = Emu.output t;
           r_insns = Emu.insns_executed t;
           r_regs = Emu.registers t;
@@ -536,11 +540,18 @@ let identity_roundtrip ?fuel ?limit ?diag ?budget ~mach (exe : Sef.t) :
 type edit_report = {
   er_report : report;
   er_masked : int;  (** edited-run events filtered under the contract *)
+  er_masked_stores : int;  (** masked events that were stores *)
+  er_masked_traps : int;  (** masked events that were traps *)
+  er_profile_orig : Emu.profile option;
+      (** the original run's ground-truth profile (always collected) *)
+  er_profile_edit : Emu.profile option;
+      (** the edited run's profile, when [~profiles:true]; the overhead
+          ledger diffs the two *)
 }
 
 let verify_edit ?fuel ?limit ?(norm_b = fun v -> v) ?block_of ?pokes_b
-    ~(contract : Contract.t) (orig : Sef.t) (edited : Sef.t) :
-    (edit_report, Diag.error) result =
+    ?(profiles = false) ~(contract : Contract.t) (orig : Sef.t)
+    (edited : Sef.t) : (edit_report, Diag.error) result =
   Trace.with_span "equiv.verify"
     ~args:[ ("tool", contract.Contract.ct_tool) ]
   @@ fun () ->
@@ -554,8 +565,8 @@ let verify_edit ?fuel ?limit ?(norm_b = fun v -> v) ?block_of ?pokes_b
       let keep t ev = not (Contract.declared contract ~sp:(Emu.sp t) ev) in
       match
         Trace.with_span "equiv.run.edited" (fun () ->
-            execute ?fuel ?limit ~headroom:head_b ~filter:keep ?pokes:pokes_b
-              edited)
+            execute ?fuel ?limit ~headroom:head_b ~profile:profiles
+              ~filter:keep ?pokes:pokes_b edited)
       with
       | Error e -> Error e
       | Ok rb ->
@@ -613,7 +624,15 @@ let verify_edit ?fuel ?limit ?(norm_b = fun v -> v) ?block_of ?pokes_b
           publish ~prefix:"eel.equiv" rp;
           Metrics.incr ~by:rb.r_filtered
             (Metrics.counter "eel.equiv.masked_events");
-          Ok { er_report = rp; er_masked = rb.r_filtered })
+          Ok
+            {
+              er_report = rp;
+              er_masked = rb.r_filtered;
+              er_masked_stores = rb.r_filtered_stores;
+              er_masked_traps = rb.r_filtered_traps;
+              er_profile_orig = ra.r_profile;
+              er_profile_edit = rb.r_profile;
+            })
 
 (** {1 Rendering} *)
 

@@ -90,6 +90,8 @@ type obs_log = {
       (** events suppressed by an installed {!set_obs_filter} filter; they
           consume neither the bound nor [ol_total], so a filtered log
           compares length-for-length against an unfiltered one *)
+  mutable ol_filtered_stores : int;  (** filtered events that were stores *)
+  mutable ol_filtered_traps : int;  (** filtered events that were traps *)
 }
 
 let default_obs_limit = 65536
@@ -100,6 +102,8 @@ let obs_log ?(limit = default_obs_limit) () =
     ol_events = Eel_util.Dyn.create ();
     ol_total = 0;
     ol_filtered = 0;
+    ol_filtered_stores = 0;
+    ol_filtered_traps = 0;
   }
 
 let obs_record l ev =
@@ -119,6 +123,12 @@ let obs_truncated l = l.ol_total > Eel_util.Dyn.length l.ol_events
 
 (** Events an installed filter suppressed (0 when no filter ran). *)
 let obs_filtered l = l.ol_filtered
+
+(** Breakdown of {!obs_filtered} by event kind — the overhead ledger's
+    "extra stores" / "extra traps" columns read these directly. *)
+let obs_filtered_stores l = l.ol_filtered_stores
+
+let obs_filtered_traps l = l.ol_filtered_traps
 
 (** {1 Execution profiling}
 
@@ -145,6 +155,18 @@ let iclass_of = function
   | Insn.Ticc _ -> 7
   | Insn.Invalid _ | Insn.Unimp _ | Insn.Rdy _ | Insn.Wry _ -> 8
 
+(** One node of the calling-context tree: a routine entry address reached
+    by a call, with the dynamic instructions (and class mix) attributed to
+    that context and the contexts called from it. *)
+type cct = {
+  cc_entry : int;  (** arrival pc of the call target; -1 at the root *)
+  mutable cc_self : int;
+  cc_classes : int array;  (** indexed like {!iclass_names} *)
+  cc_children : (int, cct) Hashtbl.t;  (** callee entry pc -> context *)
+}
+
+type cframe = { cf_node : cct; cf_ret : int (* expected return address *) }
+
 type profile = {
   mutable p_insns : int;  (** fuel consumed (dynamic instructions) *)
   mutable p_block_entries : int;  (** non-sequential arrivals *)
@@ -152,9 +174,27 @@ type profile = {
   p_pc_counts : (int, int) Hashtbl.t;  (** pc -> execution count *)
   p_class_counts : int array;  (** indexed like {!iclass_names} *)
   mutable p_last_pc : int;
+  p_root : cct;  (** calling-context tree root (the entry routine) *)
+  mutable p_cur : cct;  (** context currently executing *)
+  mutable p_stack : cframe list;  (** shadow call stack (callers of cur) *)
+  mutable p_depth : int;
+  mutable p_pending_call : int;
+      (** return address of a just-executed call, [min_int] when none; the
+          next block entry within the DCTI window is its callee *)
+  mutable p_pending_ret : bool;
+  mutable p_pending_at : int;  (** [p_insns] when the pending flag was set *)
 }
 
+let new_cct entry =
+  {
+    cc_entry = entry;
+    cc_self = 0;
+    cc_classes = Array.make (Array.length iclass_names) 0;
+    cc_children = Hashtbl.create 4;
+  }
+
 let create_profile () =
+  let root = new_cct (-1) in
   {
     p_insns = 0;
     p_block_entries = 0;
@@ -162,6 +202,13 @@ let create_profile () =
     p_pc_counts = Hashtbl.create 1024;
     p_class_counts = Array.make (Array.length iclass_names) 0;
     p_last_pc = min_int;
+    p_root = root;
+    p_cur = root;
+    p_stack = [];
+    p_depth = 0;
+    p_pending_call = min_int;
+    p_pending_ret = false;
+    p_pending_at = 0;
   }
 
 let bump tbl key =
@@ -169,15 +216,80 @@ let bump tbl key =
   | Some n -> Hashtbl.replace tbl key (n + 1)
   | None -> Hashtbl.add tbl key 1
 
+(* Shadow-stack depth cap: beyond it, callee instructions are attributed to
+   the capped context instead of pushing (runaway recursion stays bounded;
+   returns past the cap still unwind by matching return addresses). *)
+let max_cct_depth = 512
+
+(* A pending call/return explains a block entry only if it fired within the
+   transfer's own DCTI window (the transfer plus its delay slot). *)
+let pending_live p = p.p_insns - p.p_pending_at <= 2
+
 let profile_step p ~pc insn =
   p.p_insns <- p.p_insns + 1;
   bump p.p_pc_counts pc;
-  if pc <> p.p_last_pc + 4 then (
+  if pc <> p.p_last_pc + 4 then begin
     p.p_block_entries <- p.p_block_entries + 1;
-    bump p.p_block_counts pc);
+    bump p.p_block_counts pc;
+    (* call/return bookkeeping: non-sequential arrival is where a pending
+       transfer lands *)
+    if p.p_pending_call <> min_int && pending_live p then begin
+      if p.p_depth < max_cct_depth then begin
+        let child =
+          match Hashtbl.find_opt p.p_cur.cc_children pc with
+          | Some c -> c
+          | None ->
+              let c = new_cct pc in
+              Hashtbl.add p.p_cur.cc_children pc c;
+              c
+        in
+        p.p_stack <- { cf_node = p.p_cur; cf_ret = p.p_pending_call } :: p.p_stack;
+        p.p_depth <- p.p_depth + 1;
+        p.p_cur <- child
+      end
+    end
+    else if p.p_pending_ret && pending_live p then begin
+      (* pop to the frame expecting this return address; unwinding through
+         intermediate frames handles tail-call escapes, and a return to an
+         address no frame expects (e.g. a computed jump) pops nothing *)
+      let rec unwind stack depth =
+        match stack with
+        | fr :: rest when fr.cf_ret = pc -> Some (fr.cf_node, rest, depth - 1)
+        | _ :: rest -> unwind rest (depth - 1)
+        | [] -> None
+      in
+      match unwind p.p_stack p.p_depth with
+      | Some (node, rest, depth) ->
+          p.p_cur <- node;
+          p.p_stack <- rest;
+          p.p_depth <- depth
+      | None -> ()
+    end;
+    p.p_pending_call <- min_int;
+    p.p_pending_ret <- false
+  end;
   p.p_last_pc <- pc;
   let k = iclass_of insn in
-  p.p_class_counts.(k) <- p.p_class_counts.(k) + 1
+  p.p_class_counts.(k) <- p.p_class_counts.(k) + 1;
+  p.p_cur.cc_self <- p.p_cur.cc_self + 1;
+  p.p_cur.cc_classes.(k) <- p.p_cur.cc_classes.(k) + 1;
+  (* arm call/return tracking off the instruction just recorded: call and
+     call-through-register (jmpl leaving the return address in %o7/%i7)
+     push on landing; any other jmpl is a potential return *)
+  match insn with
+  | Insn.Call _ ->
+      p.p_pending_call <- pc + 8;
+      p.p_pending_at <- p.p_insns
+  | Insn.Jmpl { rd; _ } ->
+      if rd = 15 || rd = 31 then begin
+        p.p_pending_call <- pc + 8;
+        p.p_pending_at <- p.p_insns
+      end
+      else begin
+        p.p_pending_ret <- true;
+        p.p_pending_at <- p.p_insns
+      end
+  | _ -> ()
 
 (** Times the block led by [pc] was entered via a control transfer (or
     program start); 0 for addresses only ever reached by fall-through. *)
@@ -191,9 +303,43 @@ let distinct_blocks p = Hashtbl.length p.p_block_counts
 (** Dynamic memory-instruction count (loads + stores). *)
 let mem_ops p = p.p_class_counts.(4) + p.p_class_counts.(5)
 
+(** Dynamic store-instruction count. Each store instruction emits exactly
+    one observable event, so under an equivalent verdict the edited run's
+    store surplus must equal the contract's masked-store count — the
+    ledger's zero-unexplained cross-check. *)
+let store_ops p = p.p_class_counts.(5)
+
+let load_ops p = p.p_class_counts.(4)
+
 (** Dynamic instruction mix as [(class, count)] in {!iclass_names} order. *)
 let class_mix p =
   Array.to_list (Array.mapi (fun i n -> (iclass_names.(i), n)) p.p_class_counts)
+
+(** The calling-context tree recorded by {!profile_step}: root is the entry
+    routine; children are keyed by callee entry pc. *)
+let profile_cct p = p.p_root
+
+(** [profile_hotspot ?name_of ?root ?prefix p] converts the calling-context
+    tree into a named {!Eel_obs.Hotspot.t}: [name_of] renders a context's
+    entry pc (default hex), [root] names the entry routine, and [prefix]
+    frames (e.g. the program name) wrap the whole tree so many programs can
+    merge into one flamegraph. *)
+let profile_hotspot ?name_of ?(root = "<entry>") ?(prefix = []) p =
+  let name_of =
+    match name_of with Some f -> f | None -> Printf.sprintf "0x%x"
+  in
+  let h = Eel_obs.Hotspot.create ~classes:iclass_names () in
+  let rec walk rev_stack node =
+    if node.cc_self > 0 then
+      Eel_obs.Hotspot.add h ~stack:(List.rev rev_stack)
+        ~classes:node.cc_classes ~self:node.cc_self ();
+    (* iteration order is irrelevant: Hotspot sums commute *)
+    Hashtbl.iter
+      (fun entry child -> walk (name_of entry :: rev_stack) child)
+      node.cc_children
+  in
+  walk (root :: List.rev prefix) p.p_root;
+  h
 
 (** [publish_profile p] surfaces the profile in the {!Eel_obs.Metrics}
     registry under [<prefix>.*] so traces, tools and the benchmark harness
@@ -370,7 +516,12 @@ let obs_emit t ev =
   | None -> ()
   | Some l -> (
       match t.obs_filter with
-      | Some keep when not (keep ev) -> l.ol_filtered <- l.ol_filtered + 1
+      | Some keep when not (keep ev) -> (
+          l.ol_filtered <- l.ol_filtered + 1;
+          match ev with
+          | Ob_store _ -> l.ol_filtered_stores <- l.ol_filtered_stores + 1
+          | Ob_trap _ -> l.ol_filtered_traps <- l.ol_filtered_traps + 1
+          | _ -> ())
       | _ -> obs_record l ev)
 
 let reg t r = if r = Regs.g0 then 0 else t.regs.(r)

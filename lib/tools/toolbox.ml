@@ -26,6 +26,10 @@ type applied = {
       (** (label, word address, skew value): instrumentation words whose
           corruption the tool's own contract checks are guaranteed to
           catch — the count-skew fault class's menu *)
+  ap_growth : (string * int * int) list;
+      (** per-routine static cost, [(name, original bytes, edited bytes)]
+          ({!E.edited_growth}); empty for tools with no EEL placement
+          (oldqpt patches in place through its own map) *)
 }
 
 (** Tool names {!apply} accepts, in presentation order. *)
@@ -41,6 +45,7 @@ let of_exec ?(targets = []) tool (exec : E.t) edited contract sites =
     ap_sites = sites;
     ap_edited_addr = (fun a -> E.edited_addr exec a);
     ap_targets = targets;
+    ap_growth = E.edited_growth exec;
   }
 
 (** [apply name mach exe] instruments [exe] with the named tool and
@@ -81,6 +86,7 @@ let apply ?(sfi_base = 0) ?(sfi_size = 1 lsl 26) name mach exe :
           ap_sites = List.length p.Oldqpt.counters;
           ap_edited_addr = (fun a -> Hashtbl.find_opt fwd a);
           ap_targets = Oldqpt.fault_targets p;
+          ap_growth = [];
         }
   | "tracer" ->
       let p = Tracer.instrument mach exe in
@@ -109,3 +115,84 @@ let apply ?(sfi_base = 0) ?(sfi_size = 1 lsl 26) name mach exe :
       Error
         (Printf.sprintf "unknown tool %s (expected one of: %s)" name
            (String.concat ", " names))
+
+(** {1 Measured application: apply + verify + overhead accounting} *)
+
+module Diag = Eel_robust.Diag
+module Diffexec = Eel_diffexec.Diffexec
+module Emu = Eel_emu.Emu
+module Ledger = Eel_obs.Ledger
+module Sef = Eel_sef.Sef
+
+type measured = {
+  ms_applied : applied;
+  ms_report : Diffexec.edit_report;
+  ms_entry : Ledger.entry;
+}
+
+(* The ledger's zero-unexplained identity: every store instruction emits
+   exactly one observable event, and an equivalent verdict means the edited
+   run's unmasked events matched the original's event-for-event — so the
+   edited side's surplus store *instructions* must equal the contract's
+   masked-store count. Anything left over is overhead nobody declared.
+   (Trap surplus is the masked-trap count by the same argument; the profile
+   can't cross-check it because its trap class counts executed [ticc]s, not
+   taken ones.) *)
+let ledger_entry ~prog (ap : applied) (er : Diffexec.edit_report) orig =
+  let verdict =
+    Diffexec.verdict_name er.Diffexec.er_report.Diffexec.rp_verdict
+  in
+  let po = er.Diffexec.er_profile_orig in
+  let pe = er.Diffexec.er_profile_edit in
+  let stat f = function Some p -> f p | None -> 0 in
+  let insns = stat (fun p -> p.Emu.p_insns) in
+  let unexplained =
+    match (verdict, po, pe) with
+    | "equivalent", Some a, Some b ->
+        Emu.store_ops b - Emu.store_ops a - er.Diffexec.er_masked_stores
+    | _ -> 0
+  in
+  {
+    Ledger.le_tool = ap.ap_tool;
+    le_prog = prog;
+    le_verdict = verdict;
+    le_sites = ap.ap_sites;
+    le_bytes_orig = Sef.image_size orig;
+    le_bytes_edited = Sef.image_size ap.ap_edited;
+    le_routines_touched =
+      List.length (List.filter (fun (_, ob, eb) -> eb > ob) ap.ap_growth);
+    le_insns_orig = insns po;
+    le_insns_edited = insns pe;
+    le_mem_orig = stat Emu.mem_ops po;
+    le_mem_edited = stat Emu.mem_ops pe;
+    le_stores_masked = er.Diffexec.er_masked_stores;
+    le_traps_masked = er.Diffexec.er_masked_traps;
+    le_unexplained = unexplained;
+  }
+
+(** [measure ~prog name mach exe] is {!apply} + {!Diffexec.verify_edit}
+    with both sides profiled, folded into an overhead-ledger entry recorded
+    under [(name, prog)]. This is the one door for drivers that want the
+    paper's overhead tables: eel_report, eel_diff --tool, and the bench
+    equiv sweep all come through here, so the ledger is populated (and
+    merged at pool joins) no matter which driver ran. *)
+let measure ?fuel ?limit ?sfi_base ?sfi_size ?pokes_b ~prog name mach exe :
+    (measured, Diag.error) result =
+  match
+    Diag.guard (fun () ->
+        match apply ?sfi_base ?sfi_size name mach exe with
+        | Ok ap -> ap
+        | Error what -> Diag.fail (Diag.Exe_error { what }))
+  with
+  | Error e -> Error e
+  | Ok ap -> (
+      match
+        Diffexec.verify_edit ?fuel ?limit ?pokes_b ~profiles:true
+          ~norm_b:ap.ap_norm_b ~block_of:ap.ap_block_of
+          ~contract:ap.ap_contract exe ap.ap_edited
+      with
+      | Error e -> Error e
+      | Ok er ->
+          let entry = ledger_entry ~prog ap er exe in
+          Ledger.record entry;
+          Ok { ms_applied = ap; ms_report = er; ms_entry = entry })

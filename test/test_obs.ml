@@ -8,9 +8,12 @@
 module Trace = Eel_obs.Trace
 module Metrics = Eel_obs.Metrics
 module Json = Eel_obs.Json
+module Hotspot = Eel_obs.Hotspot
+module Ledger = Eel_obs.Ledger
 module Sef = Eel_sef.Sef
 module Emu = Eel_emu.Emu
 module Diag = Eel_robust.Diag
+module Toolbox = Eel_tools.Toolbox
 
 let assemble src =
   match Eel_sparc.Asm.assemble src with
@@ -56,6 +59,29 @@ let test_unclosed_detection () =
   match Json.parse (Trace.to_chrome_json tr) with
   | Ok _ -> ()
   | Error m -> Alcotest.failf "sealed trace does not export: %s" m
+
+let test_span_raise_unclosed () =
+  (* an exception inside a span closes that span but must not paper over a
+     hand-opened enter above it — the leak is still flagged, and the sealed
+     trace still exports *)
+  let tr = Trace.create () in
+  Trace.enter tr "outer-open";
+  (try Trace.span tr "raiser" (fun () -> failwith "boom") with Failure _ -> ());
+  Alcotest.(check (list string))
+    "raiser closed, enter flagged" [ "outer-open" ] (Trace.unclosed tr);
+  match Json.parse (Trace.to_chrome_json tr) with
+  | Error m -> Alcotest.failf "trace after raise does not export: %s" m
+  | Ok root -> (
+      match Json.member "traceEvents" root with
+      | Some (Json.Arr evs) ->
+          let has name =
+            List.exists
+              (fun ev -> Json.member "name" ev = Some (Json.Str name))
+              evs
+          in
+          Alcotest.(check bool) "raiser span exported" true (has "raiser");
+          Alcotest.(check bool) "open span sealed" true (has "outer-open")
+      | _ -> Alcotest.fail "no traceEvents after raise")
 
 let test_unmatched_exit () =
   let tr = Trace.create () in
@@ -245,6 +271,267 @@ let test_emu_block_counts () =
   Metrics.clear ()
 
 (* ------------------------------------------------------------------ *)
+(* Hotspot attribution                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_hotspot_routines () =
+  let h = Hotspot.create ~classes:[| "alu"; "load" |] () in
+  Hotspot.add h ~stack:[ "main" ] ~classes:[| 3; 2 |] ~self:5 ();
+  Hotspot.add h ~stack:[ "main"; "fib" ] ~self:5 ();
+  Hotspot.add h ~stack:[ "main"; "fib"; "fib" ] ~self:12 ();
+  Alcotest.(check int) "grand total" 22 (Hotspot.total h);
+  let find name =
+    match
+      List.find_opt (fun r -> r.Hotspot.rs_name = name) (Hotspot.routines h)
+    with
+    | Some r -> r
+    | None -> Alcotest.failf "routine %s not attributed" name
+  in
+  let main = find "main" and fib = find "fib" in
+  Alcotest.(check int) "main self" 5 main.Hotspot.rs_self;
+  Alcotest.(check int) "main total" 22 main.Hotspot.rs_total;
+  Alcotest.(check int) "fib self" 17 fib.Hotspot.rs_self;
+  (* recursion: fib-under-fib counts toward fib's total exactly once *)
+  Alcotest.(check int) "fib total (recursion once)" 17 fib.Hotspot.rs_total;
+  Alcotest.(check (array int)) "main class mix" [| 3; 2 |] main.Hotspot.rs_classes;
+  Alcotest.(check string) "collapsed stacks"
+    "main 5\nmain;fib 5\nmain;fib;fib 12\n" (Hotspot.collapsed h)
+
+let test_hotspot_merge_and_export () =
+  let h = Hotspot.create () in
+  Hotspot.add h ~stack:[ "a"; "b" ] ~self:7 ();
+  let other = Hotspot.create () in
+  (* frame names with separators must be sanitized, not corrupt the file *)
+  Hotspot.add other ~stack:[ "a"; "b" ] ~self:2 ();
+  Hotspot.add other ~stack:[ "frame;with space" ] ~self:1 ();
+  Hotspot.merge ~into:h other;
+  Alcotest.(check int) "merged total" 10 (Hotspot.total h);
+  Alcotest.(check string) "merged collapsed" "a;b 9\nframe_with_space 1\n"
+    (Hotspot.collapsed h);
+  match Json.parse (Hotspot.speedscope_json h) with
+  | Error m -> Alcotest.failf "speedscope export is not JSON: %s" m
+  | Ok root -> (
+      (match Json.member "$schema" root with
+      | Some (Json.Str _) -> ()
+      | _ -> Alcotest.fail "speedscope export without $schema");
+      match Json.member "profiles" root with
+      | Some (Json.Arr [ prof ]) -> (
+          match Json.member "endValue" prof with
+          | Some (Json.Num ev) ->
+              Alcotest.(check int) "endValue = total" 10 (int_of_float ev)
+          | _ -> Alcotest.fail "profile without endValue")
+      | _ -> Alcotest.fail "expected exactly one profile")
+
+(* A two-call program: every dynamic instruction must land in a named
+   calling context, and returns must unwind back to the caller so main's
+   inclusive total covers the whole run. *)
+let call_src =
+  {|
+main:   call sub
+        nop
+        call sub
+        nop
+        mov 0, %o0
+        ta 1
+        nop
+sub:    retl
+        nop
+|}
+
+let test_emu_cct () =
+  let exe = assemble call_src in
+  let sub = find_sym exe "sub" in
+  let p = Emu.create_profile () in
+  let r, _ = Emu.run_exe ~profile:p exe in
+  Alcotest.(check int) "exit" 0 r.Emu.exit_code;
+  let name_of pc =
+    if pc = sub then "sub" else Printf.sprintf "0x%x" pc
+  in
+  let h = Emu.profile_hotspot ~name_of ~root:"main" p in
+  (* every executed instruction is attributed to some context *)
+  Alcotest.(check int) "attributed = executed" r.Emu.insns (Hotspot.total h);
+  let find name =
+    match
+      List.find_opt (fun s -> s.Hotspot.rs_name = name) (Hotspot.routines h)
+    with
+    | Some s -> s
+    | None -> Alcotest.failf "routine %s not in hotspot" name
+  in
+  let main = find "main" and subr = find "sub" in
+  (* main: call,nop x2 + mov + ta = 6 self; everything inclusive *)
+  Alcotest.(check int) "main self" 6 main.Hotspot.rs_self;
+  Alcotest.(check int) "main total" r.Emu.insns main.Hotspot.rs_total;
+  (* sub: retl + delay nop, entered twice *)
+  Alcotest.(check int) "sub self" 4 subr.Hotspot.rs_self;
+  Alcotest.(check int) "sub total" 4 subr.Hotspot.rs_total;
+  (* the collapsed view shows the return actually unwound: sub never
+     appears stacked under itself *)
+  Alcotest.(check string) "collapsed" "main 6\nmain;sub 4\n"
+    (Hotspot.collapsed h)
+
+(* ------------------------------------------------------------------ *)
+(* Overhead ledger                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let sample_entry =
+  {
+    Ledger.le_tool = "qpt2";
+    le_prog = "fib";
+    le_verdict = "equivalent";
+    le_sites = 3;
+    le_bytes_orig = 100;
+    le_bytes_edited = 160;
+    le_routines_touched = 2;
+    le_insns_orig = 50;
+    le_insns_edited = 80;
+    le_mem_orig = 10;
+    le_mem_edited = 14;
+    le_stores_masked = 4;
+    le_traps_masked = 1;
+    le_unexplained = 0;
+  }
+
+let test_ledger_record () =
+  Metrics.clear ();
+  Ledger.reset ();
+  Ledger.record sample_entry;
+  Alcotest.(check int) "one entry" 1 (List.length (Ledger.entries ()));
+  let e = List.hd (Ledger.entries ()) in
+  Alcotest.(check int) "bytes added" 60 (Ledger.bytes_added e);
+  Alcotest.(check int) "extra insns" 30 (Ledger.extra_insns e);
+  Alcotest.(check int) "extra mem" 4 (Ledger.extra_mem e);
+  Alcotest.(check int) "masked" 5 (Ledger.masked e);
+  Alcotest.(check (float 1e-9)) "expansion" 1.6 (Ledger.expansion e);
+  Alcotest.(check bool) "counter published" true
+    (Metrics.find "eel.ledger.qpt2.bytes_added" = Some (Metrics.Int 60));
+  (* re-recording the same (tool, prog) replaces, never duplicates *)
+  Ledger.record { sample_entry with Ledger.le_sites = 5 };
+  (match Ledger.entries () with
+  | [ e ] -> Alcotest.(check int) "replaced sites" 5 e.Ledger.le_sites
+  | es -> Alcotest.failf "expected 1 entry after replace, got %d" (List.length es));
+  (* the JSON rendering parses *)
+  (match Json.parse (Ledger.to_json (Ledger.entries ())) with
+  | Ok (Json.Arr [ _ ]) -> ()
+  | Ok _ -> Alcotest.fail "ledger json shape"
+  | Error m -> Alcotest.failf "ledger json invalid: %s" m);
+  Ledger.reset ();
+  Metrics.clear ()
+
+let test_measure_cross_check () =
+  Metrics.clear ();
+  Ledger.reset ();
+  let exe = assemble (List.assoc "fib" Eel_diffexec.Corpus.sources) in
+  (match Toolbox.measure ~prog:"fib" "qpt2" Eel_sparc.Mach.mach exe with
+  | Error e -> Alcotest.failf "measure failed: %s" (Diag.error_message e)
+  | Ok ms ->
+      let e = ms.Toolbox.ms_entry in
+      Alcotest.(check string) "verdict" "equivalent" e.Ledger.le_verdict;
+      Alcotest.(check string) "program" "fib" e.Ledger.le_prog;
+      (* the zero-unexplained identity: every extra dynamic store the
+         edited binary executed is accounted for by a masked event *)
+      Alcotest.(check int) "unexplained overhead" 0 e.Ledger.le_unexplained;
+      Alcotest.(check bool) "sites placed" true (e.Ledger.le_sites > 0);
+      Alcotest.(check bool) "image grew" true (Ledger.bytes_added e > 0);
+      Alcotest.(check bool) "run grew" true (Ledger.extra_insns e > 0);
+      Alcotest.(check bool) "profiling stores masked" true
+        (e.Ledger.le_stores_masked > 0);
+      Alcotest.(check bool) "routines touched" true
+        (e.Ledger.le_routines_touched > 0);
+      (* measure recorded the entry in the ambient ledger *)
+      Alcotest.(check int) "ledger entry recorded" 1
+        (List.length (Ledger.entries ())));
+  Ledger.reset ();
+  Metrics.clear ()
+
+(* ------------------------------------------------------------------ *)
+(* trace_check on hotspot exports                                      *)
+(* ------------------------------------------------------------------ *)
+
+let bin name =
+  Filename.concat (Filename.dirname Sys.executable_name) ("../bin/" ^ name)
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let test_trace_check_exports () =
+  let h = Hotspot.create () in
+  Hotspot.add h ~stack:[ "a"; "b" ] ~self:7 ();
+  Hotspot.add h ~stack:[ "a" ] ~self:3 ();
+  let flame = Filename.temp_file "eel_obs" ".flame" in
+  let scope = Filename.temp_file "eel_obs" ".speedscope.json" in
+  write_file flame (Hotspot.collapsed h);
+  write_file scope (Hotspot.speedscope_json h);
+  let run args =
+    Sys.command
+      (Printf.sprintf "%s %s > /dev/null 2>&1"
+         (Filename.quote (bin "trace_check.exe"))
+         args)
+  in
+  Alcotest.(check int) "both formats validate with the right total" 0
+    (run
+       (Printf.sprintf "--total 10 %s %s" (Filename.quote flame)
+          (Filename.quote scope)));
+  Alcotest.(check int) "wrong total rejected (collapsed)" 1
+    (run (Printf.sprintf "--total 11 %s" (Filename.quote flame)));
+  Alcotest.(check int) "wrong total rejected (speedscope)" 1
+    (run (Printf.sprintf "--total 11 %s" (Filename.quote scope)));
+  (* a truncated export must not validate *)
+  write_file flame "a;b notanumber\n";
+  Alcotest.(check int) "malformed collapsed rejected" 1
+    (run (Filename.quote flame));
+  Sys.remove flame;
+  Sys.remove scope
+
+(* ------------------------------------------------------------------ *)
+(* perf-regression gate                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_perf_gate () =
+  let regress =
+    Filename.concat (Filename.dirname Sys.executable_name)
+      "../bench/regress.exe"
+  in
+  let base = Filename.temp_file "eel_perf" ".json" in
+  let hist = Filename.temp_file "eel_perf" ".jsonl" in
+  let run env args =
+    Sys.command
+      (Printf.sprintf
+         "EEL_PERF_BUDGET=smoke EEL_PERF_HISTORY=%s %s %s %s > /dev/null 2>&1"
+         (Filename.quote hist) env
+         (Filename.quote regress)
+         args)
+  in
+  Alcotest.(check int) "baseline written" 0
+    (run "" (Printf.sprintf "--write-baseline %s" (Filename.quote base)));
+  (* unchanged tree: same-machine remeasure stays inside the tolerance *)
+  Alcotest.(check int) "gate passes on unchanged tree" 0
+    (run
+       (Printf.sprintf "EEL_PERF_BASELINE=%s EEL_REGRESS_TOL=0.18"
+          (Filename.quote base))
+       "");
+  (* a seeded 26% throughput regression must fail the default 12% gate *)
+  Alcotest.(check int) "gate fails on seeded regression" 1
+    (run
+       (Printf.sprintf "EEL_PERF_BASELINE=%s EEL_PERF_HANDICAP=1.35"
+          (Filename.quote base))
+       "");
+  (* every run appended one trajectory-history line *)
+  let ic = open_in hist in
+  let lines = ref 0 in
+  (try
+     while true do
+       ignore (input_line ic);
+       incr lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  Alcotest.(check int) "history lines" 2 !lines;
+  Sys.remove base;
+  Sys.remove hist
+
+(* ------------------------------------------------------------------ *)
 (* eel_objdump --trace, end to end                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -299,6 +586,7 @@ let () =
         [
           Alcotest.test_case "span nesting and totals" `Quick test_span_nesting;
           Alcotest.test_case "result and exception paths" `Quick test_span_result_and_exn;
+          Alcotest.test_case "raise under open enter" `Quick test_span_raise_unclosed;
           Alcotest.test_case "unclosed-span detection" `Quick test_unclosed_detection;
           Alcotest.test_case "unmatched exit" `Quick test_unmatched_exit;
           Alcotest.test_case "ambient tracer" `Quick test_ambient;
@@ -316,6 +604,25 @@ let () =
       ( "emu-profile",
         [
           Alcotest.test_case "loop block counts" `Quick test_emu_block_counts;
+          Alcotest.test_case "calling-context attribution" `Quick test_emu_cct;
+        ] );
+      ( "hotspot",
+        [
+          Alcotest.test_case "routines and recursion" `Quick test_hotspot_routines;
+          Alcotest.test_case "merge and speedscope export" `Quick
+            test_hotspot_merge_and_export;
+          Alcotest.test_case "trace_check validates exports" `Quick
+            test_trace_check_exports;
+        ] );
+      ( "ledger",
+        [
+          Alcotest.test_case "record and render" `Quick test_ledger_record;
+          Alcotest.test_case "measure cross-check" `Quick test_measure_cross_check;
+        ] );
+      ( "perf-gate",
+        [
+          Alcotest.test_case "pass, seeded regression, history" `Quick
+            test_perf_gate;
         ] );
       ( "tools",
         [

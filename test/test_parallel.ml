@@ -46,6 +46,16 @@ let test_diff_table () = check_jobs_invariant "diff" "eel_diff.exe" ""
 let test_diff_tool_json () =
   check_jobs_invariant "diff --tool --json" "eel_diff.exe" "--tool qpt2 --json"
 
+let test_diff_metrics () =
+  (* ledger/metrics counters are DLS-merged at pool joins, so --metrics
+     must report identical totals at any domain count *)
+  check_jobs_invariant "diff --metrics" "eel_diff.exe" "--tool qpt2 --metrics"
+
+let test_report () =
+  (* hotspot attribution + overhead ledger: table, flame totals and JSON
+     all come from DLS-merged state and must not depend on the fan-out *)
+  check_jobs_invariant "report" "eel_report.exe" "--tool qpt2 --top 5 --json -"
+
 let () =
   Alcotest.run "parallel"
     [
@@ -55,5 +65,7 @@ let () =
           Alcotest.test_case "fuzz differential mode" `Quick test_fuzz_diff;
           Alcotest.test_case "identity-diff table" `Quick test_diff_table;
           Alcotest.test_case "tool-diff JSON report" `Quick test_diff_tool_json;
+          Alcotest.test_case "tool-diff ledger metrics" `Quick test_diff_metrics;
+          Alcotest.test_case "hotspot + overhead report" `Quick test_report;
         ] );
     ]
