@@ -2,7 +2,7 @@
 # build everything, run the test suites, the never-crash fuzz corpus, and
 # the observability trace smoke test.
 
-.PHONY: all build test fuzz diff-smoke equiv-smoke trace-smoke inject-smoke report-smoke perf perf-smoke perf-regress check clean
+.PHONY: all build test fuzz diff-smoke equiv-smoke trace-smoke inject-smoke report-smoke perf perf-smoke perf-regress serve-bench serve-smoke check clean
 
 all: build
 
@@ -78,8 +78,34 @@ perf-regress:
 	dune build bench/regress.exe
 	./_build/default/bench/regress.exe
 
+# Rewriting-as-a-service benchmark: cold vs warm throughput of the 100-job
+# mixed corpus through the eel_serve engine with a durable content-addressed
+# cache (persisted to BENCH_serve.json; methodology in EXPERIMENTS.md).
+# Fails unless warm throughput is >= 3x cold and every cache hit is
+# byte-identical to its miss. serve-smoke is the CI variant: a smaller
+# budget through the same gate, plus the real binaries end-to-end — a cold
+# eel_batch populates _build/serve-cache, then a fresh eel_batch process and
+# an eel_serve fed the emitted JSONL corpus must both serve entirely from
+# the durable layer (--expect-cached). Artifacts: _build/serve-report.json,
+# _build/serve-stats*.json, _build/serve-responses.jsonl.
+serve-bench:
+	dune build bench/main.exe
+	./_build/default/bench/main.exe serve
+
+serve-smoke:
+	dune build bench/main.exe bin/eel_batch.exe bin/eel_serve.exe
+	EEL_SERVE_BUDGET=smoke EEL_BENCH_SERVE=_build/BENCH_serve_smoke.json ./_build/default/bench/main.exe serve
+	rm -rf _build/serve-cache
+	./_build/default/bin/eel_batch.exe --gen 24 --cache-dir _build/serve-cache \
+	  --report _build/serve-report.json --stats _build/serve-stats-cold.json > _build/serve-batch.txt
+	./_build/default/bin/eel_batch.exe --gen 24 --cache-dir _build/serve-cache \
+	  --expect-cached --stats _build/serve-stats-warm.json >> _build/serve-batch.txt
+	./_build/default/bin/eel_batch.exe --gen 6 --emit _build/serve-jobs.jsonl
+	./_build/default/bin/eel_serve.exe --expect-cached --cache-dir _build/serve-cache \
+	  --stats _build/serve-stats-serve.json _build/serve-jobs.jsonl > _build/serve-responses.jsonl
+
 check:
-	dune build && dune runtest && dune build @fuzz && dune build @diff && dune build @equiv && $(MAKE) trace-smoke && $(MAKE) inject-smoke && $(MAKE) report-smoke
+	dune build && dune runtest && dune build @fuzz && dune build @diff && dune build @equiv && $(MAKE) trace-smoke && $(MAKE) inject-smoke && $(MAKE) report-smoke && $(MAKE) serve-smoke
 
 clean:
 	dune clean

@@ -96,39 +96,62 @@ let () =
   if !reproduce <> "" then (
     (* replay a reproducer artifact: rebuild the exact (tool, program,
        fault class, sites) trial deterministically and demand the oracle
-       still flag it *)
+       still flag it. Reproducers are untrusted input like everything else
+       the front end reads, so every failure — unreadable file, malformed
+       or truncated JSON, a spec the campaign cannot rebuild — funnels into
+       one structured Diag error and exit 2; nothing escapes as an uncaught
+       exception. *)
     let module Fault = Eel_mutate.Fault in
     let module Json = Eel_obs.Json in
-    let fail msg =
-      Printf.eprintf "eel_diff --reproduce: %s\n" msg;
-      exit 2
+    let loc = Diag.in_file !reproduce in
+    let outcome =
+      Diag.guard (fun () ->
+          try
+          let text =
+            try
+              let ic = open_in_bin !reproduce in
+              let n = in_channel_length ic in
+              let s = really_input_string ic n in
+              close_in ic;
+              s
+            with
+            | Sys_error m -> Diag.fail (Diag.Sef_error { what = m; loc })
+            | End_of_file ->
+                Diag.fail
+                  (Diag.Sef_error { what = "truncated reproducer file"; loc })
+          in
+          let spec =
+            match Result.bind (Json.parse text) Fault.spec_of_json with
+            | Ok spec -> spec
+            | Error m ->
+                Diag.fail
+                  (Diag.Sef_error { what = "bad reproducer: " ^ m; loc })
+          in
+          (match Fault.replay ~fuel:!fuel spec with
+          | Ok (at, desc) -> (spec, at, desc)
+          | Error m -> Diag.fail (Diag.Exe_error { what = m }))
+          with
+          | (Diag.Error _ | Eel_util.Bytebuf.Truncated _) as e -> raise e
+          | exn ->
+              Diag.fail
+                (Diag.Exe_error
+                   { what = "replay raised " ^ Printexc.to_string exn }))
     in
-    let text =
-      try
-        let ic = open_in_bin !reproduce in
-        let n = in_channel_length ic in
-        let s = really_input_string ic n in
-        close_in ic;
-        s
-      with Sys_error m -> fail m
-    in
-    (match Result.bind (Json.parse text) Fault.spec_of_json with
-     | Error m -> fail m
-     | Ok spec -> (
-         match Fault.replay ~fuel:!fuel spec with
-         | Error m -> fail m
-         | Ok (at, desc) ->
-             Printf.printf "%s %s on %s: %s\n  fault: %s\n  verdict: %s%s\n"
-               spec.Fault.sp_tool
-               (Fault.class_name spec.Fault.sp_class)
-               spec.Fault.sp_prog
-               (if at.Fault.at_flagged then "REPRODUCED" else "NOT REPRODUCED")
-               desc at.Fault.at_verdict
-               (if at.Fault.at_dclass = "" then ""
-                else
-                  Printf.sprintf " (%s at 0x%x)" at.Fault.at_dclass
-                    at.Fault.at_anchor);
-             exit (if at.Fault.at_flagged then 0 else 1))));
+    match outcome with
+    | Error e ->
+        Printf.eprintf "eel_diff --reproduce: %s\n" (Diag.error_message e);
+        exit 2
+    | Ok (spec, at, desc) ->
+        Printf.printf "%s %s on %s: %s\n  fault: %s\n  verdict: %s%s\n"
+          spec.Fault.sp_tool
+          (Fault.class_name spec.Fault.sp_class)
+          spec.Fault.sp_prog
+          (if at.Fault.at_flagged then "REPRODUCED" else "NOT REPRODUCED")
+          desc at.Fault.at_verdict
+          (if at.Fault.at_dclass = "" then ""
+           else
+             Printf.sprintf " (%s at 0x%x)" at.Fault.at_dclass at.Fault.at_anchor);
+        exit (if at.Fault.at_flagged then 0 else 1));
   let programs =
     match List.rev !files with
     | [] -> List.map (fun (n, e) -> (n, Ok e)) (Corpus.all ())
@@ -145,7 +168,14 @@ let () =
      the join, so --metrics works at any domain count; only --trace (span
      hierarchies) forces a serial run, because worker domains have no
      ambient tracer and their spans would be lost. *)
-  let jobs = if tracer <> None then Some 1 else None in
+  let jobs =
+    if tracer = None then None
+    else (
+      Printf.eprintf
+        "eel_diff: --trace forces EEL_JOBS=1 (span hierarchies don't cross \
+         domains)\n";
+      Some 1)
+  in
   let results =
     Eel_util.Pool.map_list ?jobs
       (fun (name, img) ->

@@ -294,7 +294,14 @@ let () =
     else (
       print_string "FAIL: missed faults, crashes or false violations\n";
       exit 1));
-  let jobs = if tracer <> None then Some 1 else None in
+  let jobs =
+    if tracer = None then None
+    else (
+      Printf.eprintf
+        "eel_fuzz: --trace forces EEL_JOBS=1 (span hierarchies don't cross \
+         domains)\n";
+      Some 1)
+  in
   if !diff then (
     let crashed = ref 0 in
     (* strict gate: a mutant whose instrumented edit violates its tool's

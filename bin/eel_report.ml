@@ -31,6 +31,7 @@ module Toolbox = Eel_tools.Toolbox
 module Emu = Eel_emu.Emu
 module Hotspot = Eel_obs.Hotspot
 module Ledger = Eel_obs.Ledger
+module Trace = Eel_obs.Trace
 
 type source = Src of string | File of string
 
@@ -71,6 +72,7 @@ let () =
   let top = ref 10 in
   let tools = ref [] in
   let flame = ref "" and speedscope = ref "" and json_out = ref "" in
+  let trace_file = ref "" in
   let files = ref [] in
   Arg.parse
     [
@@ -93,6 +95,10 @@ let () =
         Arg.Set_string json_out,
         "FILE write the full report (hotspot + ledger) as JSON ('-' = stdout)"
       );
+      ( "--trace",
+        Arg.Set_string trace_file,
+        "FILE write both report phases as a Chrome trace timeline (forces \
+         EEL_JOBS=1)" );
     ]
     (fun f -> files := f :: !files)
     "eel_report [--tool NAME] [FILE.sef ...]: hot-path attribution + \
@@ -116,9 +122,22 @@ let () =
     | [] -> List.map (fun (n, src) -> (n, Src src)) Corpus.sources
     | fs -> List.map (fun f -> (Filename.basename f, File f)) fs
   in
+  let tracer = if !trace_file <> "" then Some (Trace.create ()) else None in
+  Trace.set_current tracer;
+  (* both sweeps are jobs-agnostic (DLS metrics/ledger merge at the join),
+     but span hierarchies don't cross domains, so --trace pins them — and
+     says so, since it silently overrides EEL_JOBS *)
+  let jobs =
+    if tracer = None then None
+    else (
+      Printf.eprintf
+        "eel_report: --trace forces EEL_JOBS=1 (span hierarchies don't cross \
+         domains)\n";
+      Some 1)
+  in
   (* ---- phase 1: hot-path attribution (one profiled run per program) ---- *)
   let hot_rows =
-    Eel_util.Pool.map_list
+    Eel_util.Pool.map_list ?jobs
       (fun (prog, src) ->
         match load src with
         | Error e -> (prog, Error (Diag.error_message e))
@@ -144,7 +163,7 @@ let () =
     List.concat_map (fun t -> List.map (fun (p, s) -> (t, p, s)) programs) tools
   in
   let ledger_rows =
-    Eel_util.Pool.map_list
+    Eel_util.Pool.map_list ?jobs
       (fun (tool, prog, src) ->
         match load src with
         | Error e -> (tool, prog, Error (Diag.error_message e))
@@ -276,4 +295,7 @@ let () =
     if !json_out = "-" then print_string (Buffer.contents buf)
     else write_file !json_out (Buffer.contents buf)
   end;
+  (match tracer with
+  | Some tr -> Trace.write_chrome_json tr !trace_file
+  | None -> ());
   if bad_entries <> [] || errors <> [] || unexplained <> 0 then exit 1

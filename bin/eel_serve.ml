@@ -1,0 +1,162 @@
+(* Rewriting as a service: the batch daemon.
+
+   Reads JSONL jobs ({"id", "tool", one of corpus|file|gen|sef_hex, params};
+   see lib/serve/proto.ml) from stdin — or from FILE arguments — shards each
+   batch across the Pool, routes every job through Toolbox.measure (contract
+   oracle + overhead ledger included), and answers one JSON object per line
+   on stdout, in input order. The content-addressed cache (EEL_CACHE_DIR /
+   EEL_CACHE_MB, or the flags below) persists per-routine analysis facts and
+   whole-job results across invocations, so a warm daemon serves repeat
+   images without re-analyzing or re-verifying them.
+
+   Responses are deterministic (no wall-clock fields, stable order at any
+   EEL_JOBS); the stderr summary and --stats JSON carry the timing and
+   cache-efficiency numbers. Exits 0 iff every job parsed and came back
+   "equivalent". *)
+
+module Serve = Eel_service.Serve
+module Proto = Eel_service.Proto
+module Cache = Eel_service.Cache
+module Diffexec = Eel_diffexec.Diffexec
+
+let () =
+  Printexc.record_backtrace true;
+  let cache_dir = ref "" in
+  let cache_mb = ref 0 in
+  let jobs = ref 0 in
+  let batch = ref 64 in
+  let fuel = ref Diffexec.default_fuel in
+  let out = ref "" in
+  let stats = ref "" in
+  let no_result = ref false in
+  let no_analysis = ref false in
+  let expect_cached = ref false in
+  let files = ref [] in
+  Arg.parse
+    [
+      ( "--cache-dir",
+        Arg.Set_string cache_dir,
+        "DIR durable cache directory (default $EEL_CACHE_DIR; unset: memory-only)"
+      );
+      ( "--cache-mb",
+        Arg.Set_int cache_mb,
+        "MB disk cache budget (default $EEL_CACHE_MB, else 256)" );
+      ( "--jobs",
+        Arg.Set_int jobs,
+        "N worker domains per batch (default $EEL_JOBS, else cores)" );
+      ( "--batch",
+        Arg.Set_int batch,
+        "N jobs buffered per pool dispatch (default 64)" );
+      ( "--fuel",
+        Arg.Set_int fuel,
+        Printf.sprintf "FUEL default per-job instruction budget (default %d)"
+          Diffexec.default_fuel );
+      ("--out", Arg.Set_string out, "FILE write responses here instead of stdout");
+      ( "--stats",
+        Arg.Set_string stats,
+        "FILE write cache + throughput stats JSON on exit" );
+      ( "--no-result-cache",
+        Arg.Set no_result,
+        " disable the whole-job result cache (analysis cache stays on)" );
+      ( "--no-analysis-cache",
+        Arg.Set no_analysis,
+        " disable the per-routine analysis cache" );
+      ( "--expect-cached",
+        Arg.Set expect_cached,
+        " fail if any successful job was not served from the result cache" );
+    ]
+    (fun f -> files := f :: !files)
+    "eel_serve [options] [JOBS.jsonl ...]  (no files: read jobs from stdin)";
+  let cache =
+    Cache.create
+      ?dir:(if !cache_dir = "" then None else Some !cache_dir)
+      ?disk_budget_bytes:
+        (if !cache_mb > 0 then Some (!cache_mb * 1024 * 1024) else None)
+      ()
+  in
+  let cfg =
+    {
+      (Serve.default_config cache) with
+      Serve.c_use_result = not !no_result;
+      c_use_analysis = not !no_analysis;
+      c_fuel = !fuel;
+    }
+  in
+  let jobs = if !jobs > 0 then Some !jobs else None in
+  let out_chan = if !out = "" then stdout else open_out !out in
+  let t0 = Unix.gettimeofday () in
+  let seq = ref 0 in
+  let n_ok = ref 0 and n_cached = ref 0 and n_err = ref 0 and n_total = ref 0 in
+  let flush_batch pending =
+    match List.rev pending with
+    | [] -> ()
+    | batch ->
+        let results = Serve.run_batch ?jobs cfg batch in
+        List.iter
+          (fun r ->
+            incr n_total;
+            if Serve.ok r then incr n_ok else incr n_err;
+            if Serve.cached r then incr n_cached;
+            output_string out_chan (Serve.result_to_line r);
+            output_char out_chan '\n')
+          results;
+        flush out_chan
+  in
+  let pending = ref [] and n_pending = ref 0 in
+  let feed_line line =
+    let line = String.trim line in
+    if line <> "" then (
+      incr seq;
+      (match Proto.job_of_line ~seq:!seq line with
+      | Ok job ->
+          pending := job :: !pending;
+          incr n_pending
+      | Error m ->
+          (* a bad line is a per-job error response, not a dead daemon *)
+          incr n_total;
+          incr n_err;
+          output_string out_chan
+            (Printf.sprintf {|{"id": %s, "ok": false, "error": %s}|}
+               (Proto.json_str (Printf.sprintf "job-%d" !seq))
+               (Proto.json_str m));
+          output_char out_chan '\n';
+          flush out_chan);
+      if !n_pending >= !batch then (
+        flush_batch !pending;
+        pending := [];
+        n_pending := 0))
+  in
+  let feed_channel ic =
+    try
+      while true do
+        feed_line (input_line ic)
+      done
+    with End_of_file -> ()
+  in
+  (match List.rev !files with
+  | [] -> feed_channel stdin
+  | fs ->
+      List.iter
+        (fun f ->
+          let ic = open_in f in
+          Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> feed_channel ic))
+        fs);
+  flush_batch !pending;
+  if !out <> "" then close_out out_chan;
+  let dt = Unix.gettimeofday () -. t0 in
+  let rate = if dt > 0.0 then float_of_int !n_total /. dt else 0.0 in
+  let uncached = !n_ok - !n_cached in
+  Printf.eprintf
+    "eel_serve: %d job(s), %d ok (%d cached, %d computed), %d error(s) in %.2fs (%.1f jobs/s)\n%!"
+    !n_total !n_ok !n_cached uncached !n_err dt rate;
+  if !stats <> "" then (
+    let oc = open_out !stats in
+    Printf.fprintf oc
+      {|{"jobs": %d, "ok": %d, "cached": %d, "errors": %d, "elapsed_s": %.3f, "jobs_per_s": %.2f, "cache": %s}|}
+      !n_total !n_ok !n_cached !n_err dt rate (Cache.stats_json cache);
+    output_char oc '\n';
+    close_out oc);
+  if !expect_cached && uncached > 0 then (
+    Printf.eprintf "eel_serve: --expect-cached: %d job(s) missed the result cache\n%!" uncached;
+    exit 1);
+  if !n_err > 0 then exit 1

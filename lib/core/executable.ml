@@ -313,6 +313,63 @@ let routines t = t.routines
 
 let hidden_routines t = t.hidden
 
+(** {1 Routine-granular analysis artifacts (the serve subsystem's cache)}
+
+    Everything CFG construction and the slicing fixpoint derive from a
+    routine is a function of the routine's text bytes, its entry set and
+    its placement — so it can be cached content-addressed and reused across
+    invocations, and a patched executable only re-analyzes the routines
+    whose bytes actually changed. {!routine_digest} is the key;
+    {!set_analysis_cache} installs an ambient lookup/store pair that
+    {!build_cfg} consults (lib/serve provides one backed by its
+    content-addressed store; when none is installed the pipeline behaves
+    exactly as before). *)
+
+(** Bump when anything that feeds {!routine_digest} or the cached artifact
+    encoding changes shape: stale artifacts must miss, not corrupt. *)
+let analysis_version = "eel.rf.v1"
+
+(** [routine_digest t r] — content digest (hex) of everything the routine's
+    analysis depends on: the artifact-format version, the machine, the
+    slicing policy, the routine's placement [r_lo] (dispatch-table targets
+    are absolute addresses), extent, sorted relative entry offsets, and the
+    routine's text bytes. Table {e contents} live in data sections outside
+    the digest; cached tables are therefore re-validated against memory
+    before use (see {!build_cfg}). *)
+let routine_digest t (r : routine) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf analysis_version;
+  Buffer.add_char buf '\000';
+  Buffer.add_string buf t.mach.Machine.name;
+  Buffer.add_char buf (if t.slicing then '\001' else '\000');
+  Eel_util.Bytebuf.w32 buf r.r_lo;
+  Eel_util.Bytebuf.w32 buf (r.r_hi - r.r_lo);
+  List.iter
+    (fun e -> Eel_util.Bytebuf.w32 buf (e - r.r_lo))
+    (List.sort_uniq compare r.r_entries);
+  let text = text_section t.exe in
+  Buffer.add_string buf
+    (Bytes.sub_string text.Sef.contents (r.r_lo - text.Sef.vaddr)
+       (r.r_hi - r.r_lo));
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+type analysis_hooks = {
+  ac_lookup : string -> (int * C.table) list option;
+      (** digest -> previously-converged dispatch tables, if cached *)
+  ac_store : string -> (int * C.table) list -> unit;
+      (** record a converged table set under the routine's digest *)
+}
+
+(* Ambient, process-wide: set once before any fan-out (worker domains read
+   it, never write), so tools that open executables internally pick the
+   cache up without plumbing. Atomic so the install is a clean publish
+   across domains. *)
+let analysis_cache : analysis_hooks option Atomic.t = Atomic.make None
+
+(** [set_analysis_cache h] installs (or, with [None], removes) the ambient
+    per-routine analysis cache. Call before spawning pool workers. *)
+let set_analysis_cache h = Atomic.set analysis_cache h
+
 let start_address t = t.exe.Sef.entry
 
 let find_routine t addr =
@@ -324,23 +381,67 @@ let fetch t addr = Sef.fetch32 t.exe addr
 
 (** {1 CFG construction with the slicing fixpoint (stage 4)} *)
 
+(* A cached table is trusted only if the memory it points at still decodes
+   to the recorded targets: the routine digest covers the routine's text,
+   not the data section holding the table, so a patched dispatch table must
+   demote the hit to a full re-analysis. Literal tables (t_addr = -1) carry
+   their one target in the slice itself, which the digest does cover. *)
+let table_still_valid ~fetch (_jump_addr, (tbl : C.table)) =
+  tbl.C.t_addr < 0
+  ||
+  let ok = ref true in
+  Array.iteri
+    (fun k tgt -> if fetch (tbl.C.t_addr + (4 * k)) <> Some tgt then ok := false)
+    tbl.C.t_targets;
+  !ok
+
 let rec build_cfg t (r : routine) =
   let fetch = fetch t in
-  let rec fixpoint tables iter =
-    let g =
-      C.build ?diag:t.diag ~budget:t.work ~mach:t.mach ~cache:t.cache ~fetch
-        ~lo:r.r_lo ~hi:r.r_hi ~entries:r.r_entries ~tables ()
-    in
-    if not t.slicing then g
-    else
-      let new_tables, _unan = Slice.resolve_all ~fetch g in
-      let fresh =
-        List.filter (fun (a, _) -> not (List.mem_assoc a tables)) new_tables
-      in
-      if fresh = [] || iter > 4 then g
-      else fixpoint (fresh @ tables) (iter + 1)
+  let build tables =
+    C.build ?diag:t.diag ~budget:t.work ~mach:t.mach ~cache:t.cache ~fetch
+      ~lo:r.r_lo ~hi:r.r_hi ~entries:r.r_entries ~tables ()
   in
-  let g = fixpoint [] 0 in
+  let g =
+    if not t.slicing then build []
+    else
+      let hooks = Atomic.get analysis_cache in
+      let digest =
+        match hooks with Some _ -> Some (routine_digest t r) | None -> None
+      in
+      let seeded =
+        match (hooks, digest) with
+        | Some h, Some d -> (
+            match h.ac_lookup d with
+            | Some tables when List.for_all (table_still_valid ~fetch) tables ->
+                Some tables
+            | _ -> None)
+        | _ -> None
+      in
+      match seeded with
+      | Some tables ->
+          (* the cached set is the converged fixpoint for these exact bytes
+             (and the tables re-validated against memory), so one build
+             reproduces the from-scratch graph with no slicing at all *)
+          build tables
+      | None ->
+          let rec fixpoint tables iter =
+            let g = build tables in
+            let new_tables, _unan = Slice.resolve_all ~fetch g in
+            let fresh =
+              List.filter (fun (a, _) -> not (List.mem_assoc a tables)) new_tables
+            in
+            if fresh = [] then (
+              (match (hooks, digest) with
+              | Some h, Some d ->
+                  h.ac_store d
+                    (List.sort (fun (a, _) (b, _) -> compare a b) tables)
+              | _ -> ());
+              g)
+            else if iter > 4 then g
+            else fixpoint (fresh @ tables) (iter + 1)
+          in
+          fixpoint [] 0
+  in
   r.r_cfg <- Some g;
   (* ---- stage 4: hidden routines ---- *)
   (match g.C.hidden_candidate with

@@ -435,6 +435,82 @@ let test_sched_polymorphic_arms () =
     (Sched.attempts_of s arms.(0) > Sched.attempts_of s arms.(1));
   Alcotest.(check bool) "all signatures counted" true (Sched.distinct s > 2)
 
+(* ---- the eel_diff --reproduce front door (untrusted artifacts) ----
+
+   Reproducer files are attacker-controlled input too: whatever we feed
+   the flag, the binary must answer with one structured Diag error on
+   stderr and exit 2 — never an uncaught exception (which OCaml reports
+   as "Fatal error:" and exit 2 as well, so the assertion keys on the
+   structured prefix, not just the status). *)
+
+let eel_diff_exe =
+  Filename.concat (Filename.dirname Sys.executable_name) "../bin/eel_diff.exe"
+
+let run_reproduce contents_opt =
+  let dir = Filename.temp_file "eel_repro" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect ~finally:(fun () ->
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Unix.rmdir dir)
+  @@ fun () ->
+  let artifact = Filename.concat dir "repro.json" in
+  (match contents_opt with
+  | Some contents ->
+      let oc = open_out_bin artifact in
+      output_string oc contents;
+      close_out oc
+  | None -> ());
+  let err_file = Filename.concat dir "stderr" in
+  let status =
+    Sys.command
+      (Printf.sprintf "%s --reproduce %s > /dev/null 2> %s"
+         (Filename.quote eel_diff_exe) (Filename.quote artifact)
+         (Filename.quote err_file))
+  in
+  let ic = open_in_bin err_file in
+  let stderr_text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  (status, stderr_text)
+
+let has_prefix p s =
+  String.length s >= String.length p && String.sub s 0 (String.length p) = p
+
+let check_structured_refusal what contents_opt =
+  let status, stderr_text = run_reproduce contents_opt in
+  Alcotest.(check int) (what ^ ": exit status") 2 status;
+  Alcotest.(check bool)
+    (what ^ ": structured error, not an escaped exception")
+    true
+    (has_prefix "eel_diff --reproduce:" stderr_text);
+  Alcotest.(check bool)
+    (what ^ ": no uncaught-exception banner")
+    false
+    (let re = "Fatal error" in
+     let n = String.length stderr_text and m = String.length re in
+     let rec scan i =
+       i + m <= n && (String.sub stderr_text i m = re || scan (i + 1))
+     in
+     scan 0)
+
+let test_reproduce_malformed () =
+  check_structured_refusal "malformed" (Some "this is { not json")
+
+let test_reproduce_truncated () =
+  check_structured_refusal "truncated"
+    (Some {|{"tool": "qpt2", "program": "fib", "class": "stray-store", "sit|})
+
+let test_reproduce_garbage () =
+  check_structured_refusal "garbage" (Some "\x00\x01\xfe\xff\x80<<>>\x9a")
+
+let test_reproduce_missing_file () = check_structured_refusal "missing" None
+
+let test_reproduce_bogus_spec () =
+  (* parses fine, but names a program the campaign cannot rebuild *)
+  check_structured_refusal "bogus spec"
+    (Some
+       {|{"tool": "qpt2", "program": "no-such-prog", "class": "stray-store", "sites": [4]}|})
+
 let () =
   Alcotest.run "robust"
     [
@@ -480,6 +556,19 @@ let () =
           Alcotest.test_case "mutation determinism" `Quick
             test_mutation_determinism;
           Alcotest.test_case "200-mutant smoke corpus" `Quick test_smoke_corpus;
+        ] );
+      ( "cli",
+        [
+          Alcotest.test_case "reproduce rejects malformed JSON" `Quick
+            test_reproduce_malformed;
+          Alcotest.test_case "reproduce rejects truncated JSON" `Quick
+            test_reproduce_truncated;
+          Alcotest.test_case "reproduce rejects binary garbage" `Quick
+            test_reproduce_garbage;
+          Alcotest.test_case "reproduce rejects missing file" `Quick
+            test_reproduce_missing_file;
+          Alcotest.test_case "reproduce rejects bogus spec" `Quick
+            test_reproduce_bogus_spec;
         ] );
       ( "inject",
         [
