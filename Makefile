@@ -2,7 +2,7 @@
 # build everything, run the test suites, the never-crash fuzz corpus, and
 # the observability trace smoke test.
 
-.PHONY: all build test fuzz diff-smoke equiv-smoke trace-smoke inject-smoke report-smoke perf perf-smoke perf-regress serve-bench serve-smoke check clean
+.PHONY: all build test fuzz diff-smoke equiv-smoke trace-smoke inject-smoke report-smoke os-smoke perf perf-smoke perf-regress serve-bench serve-smoke check clean
 
 all: build
 
@@ -56,6 +56,17 @@ report-smoke:
 	  --json _build/report-ledger.json | tee _build/report.txt
 	./_build/default/bin/trace_check.exe _build/report.flame _build/report.speedscope.json
 
+# OS workload gate: assemble the I/O-bound OS-mode corpus (each program
+# runs against its deterministic in-memory world) and push it through all
+# six tools under Toolbox.measure via eel_report --corpus os. eel_report
+# exits non-zero on any divergence or any unexplained overhead, so this
+# asserts 6 tools x the whole OS corpus verify equivalent. Artifacts:
+# _build/os-report.txt (verdict + overhead table), _build/os-ledger.json.
+os-smoke:
+	dune build bin/eel_report.exe
+	./_build/default/bin/eel_report.exe --corpus os \
+	  --json _build/os-ledger.json | tee _build/os-report.txt
+
 # Performance trajectory: the predecode + multicore fan-out experiment,
 # persisted to BENCH_perf.json at the repo root (methodology in
 # EXPERIMENTS.md). perf-smoke is the tiny-budget CI variant: it fails if
@@ -105,7 +116,7 @@ serve-smoke:
 	  --stats _build/serve-stats-serve.json _build/serve-jobs.jsonl > _build/serve-responses.jsonl
 
 check:
-	dune build && dune runtest && dune build @fuzz && dune build @diff && dune build @equiv && $(MAKE) trace-smoke && $(MAKE) inject-smoke && $(MAKE) report-smoke && $(MAKE) serve-smoke
+	dune build && dune runtest && dune build @fuzz && dune build @diff && dune build @equiv && $(MAKE) trace-smoke && $(MAKE) inject-smoke && $(MAKE) report-smoke && $(MAKE) os-smoke && $(MAKE) serve-smoke
 
 clean:
 	dune clean

@@ -13,6 +13,24 @@ module Metrics = Eel_obs.Metrics
 
 let mach = Eel_sparc.Mach.mach
 
+(* OS ABI annotation: a [ta] whose immediate lands in the syscall window
+   gets its resolved mnemonic as a trailing comment; anything else (other
+   conditions, computed trap numbers, out-of-window immediates) is left
+   alone. *)
+let syscall_note word =
+  match Eel_sparc.Insn.decode word with
+  | Eel_sparc.Insn.Ticc
+      { cond = Eel_sparc.Insn.CA; rs1 = 0; op2 = Eel_sparc.Insn.O_imm imm } -> (
+      match Eel_os.Abi.name_of_trap_imm imm with
+      | Some name -> Printf.sprintf "  ! sys_%s" name
+      | None -> "")
+  | _ -> ""
+
+let disas_line a word =
+  Format.printf "      %08x: %s%s\n" a
+    (mach.Eel_arch.Machine.disas ~pc:a word)
+    (syscall_note word)
+
 let dump path disas cfg trace_file metrics =
   let tracer =
     if trace_file <> None || metrics then Some (Trace.create ()) else None
@@ -44,13 +62,10 @@ let dump path disas cfg trace_file metrics =
             if b.C.kind = C.Normal && b.C.reachable then (
               Array.iter
                 (fun (a, (i : Eel_arch.Instr.t)) ->
-                  Format.printf "      %08x: %s\n" a
-                    (mach.Eel_arch.Machine.disas ~pc:a i.Eel_arch.Instr.word))
+                  disas_line a i.Eel_arch.Instr.word)
                 b.C.instrs;
               match C.term_instr b with
-              | Some (a, i) ->
-                  Format.printf "      %08x: %s\n" a
-                    (mach.Eel_arch.Machine.disas ~pc:a i.Eel_arch.Instr.word)
+              | Some (a, i) -> disas_line a i.Eel_arch.Instr.word
               | None -> ()))
           (C.blocks g);
       if cfg then

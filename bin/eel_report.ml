@@ -73,6 +73,7 @@ let () =
   let tools = ref [] in
   let flame = ref "" and speedscope = ref "" and json_out = ref "" in
   let trace_file = ref "" in
+  let corpus_sel = ref "all" in
   let files = ref [] in
   Arg.parse
     [
@@ -99,6 +100,10 @@ let () =
         Arg.Set_string trace_file,
         "FILE write both report phases as a Chrome trace timeline (forces \
          EEL_JOBS=1)" );
+      ( "--corpus",
+        Arg.Set_string corpus_sel,
+        "SET built-in corpus subset: all (default), cpu, or os (the \
+         OS-mode programs; make os-smoke gates this slice)" );
     ]
     (fun f -> files := f :: !files)
     "eel_report [--tool NAME] [FILE.sef ...]: hot-path attribution + \
@@ -118,9 +123,25 @@ let () =
         ts
   in
   let programs =
+    (* default corpus = CPU-bound programs + the OS-mode corpus (each OS
+       program carries its in-memory world spec); --corpus narrows it *)
     match List.rev !files with
-    | [] -> List.map (fun (n, src) -> (n, Src src)) Corpus.sources
-    | fs -> List.map (fun f -> (Filename.basename f, File f)) fs
+    | [] -> (
+        let cpu = List.map (fun (n, src) -> (n, Src src, None)) Corpus.sources
+        and os =
+          List.map
+            (fun (n, (src, spec)) -> (n, Src src, Some spec))
+            Corpus.os_sources
+        in
+        match !corpus_sel with
+        | "all" -> cpu @ os
+        | "cpu" -> cpu
+        | "os" -> os
+        | s ->
+            Printf.eprintf
+              "eel_report: unknown --corpus %s (expected all, cpu or os)\n" s;
+            exit 2)
+    | fs -> List.map (fun f -> (Filename.basename f, File f, None)) fs
   in
   let tracer = if !trace_file <> "" then Some (Trace.create ()) else None in
   Trace.set_current tracer;
@@ -138,11 +159,11 @@ let () =
   (* ---- phase 1: hot-path attribution (one profiled run per program) ---- *)
   let hot_rows =
     Eel_util.Pool.map_list ?jobs
-      (fun (prog, src) ->
+      (fun (prog, src, os) ->
         match load src with
         | Error e -> (prog, Error (Diag.error_message e))
         | Ok exe -> (
-            match Diffexec.execute ~fuel:!fuel ~profile:true exe with
+            match Diffexec.execute ~fuel:!fuel ~profile:true ?os exe with
             | Error e -> (prog, Error (Diag.error_message e))
             | Ok r ->
                 let p = Option.get r.Diffexec.r_profile in
@@ -160,15 +181,19 @@ let () =
   let grand_total = Hotspot.total hot in
   (* ---- phase 2: overhead ledger (tool x program sweep) ---- *)
   let pairs =
-    List.concat_map (fun t -> List.map (fun (p, s) -> (t, p, s)) programs) tools
+    List.concat_map
+      (fun t -> List.map (fun (p, s, os) -> (t, p, s, os)) programs)
+      tools
   in
   let ledger_rows =
     Eel_util.Pool.map_list ?jobs
-      (fun (tool, prog, src) ->
+      (fun (tool, prog, src, os) ->
         match load src with
         | Error e -> (tool, prog, Error (Diag.error_message e))
         | Ok exe -> (
-            match Toolbox.measure ~fuel:!fuel ~prog tool Eel_sparc.Mach.mach exe with
+            match
+              Toolbox.measure ~fuel:!fuel ?os ~prog tool Eel_sparc.Mach.mach exe
+            with
             | Error e -> (tool, prog, Error (Diag.error_message e))
             | Ok ms -> (tool, prog, Ok ms.Toolbox.ms_entry)))
       pairs

@@ -8,13 +8,46 @@
    chrome://tracing or Perfetto); --metrics profiles the emulated program
    (per-block execution counts, instruction-class mix, memory ops) and
    prints the metrics registry to stderr. Either flag enables the front-end
-   analysis phase so the CFG spans appear on the timeline. *)
+   analysis phase so the CFG spans appear on the timeline.
+
+   OS mode (ISSUE 9): --os installs the lib/os syscall layer (in-memory
+   file system + fd table) as the trap handler, so programs using the OS
+   ABI window run instead of faulting on an unknown trap. --os-stdin
+   seeds the guest's stdin, --os-file NAME=PATH loads a host file into
+   the in-memory FS under NAME. The world is rebuilt from these flags on
+   every run — nothing persists.
+
+   Exit status: the process exits 0 when emulation completed (whatever
+   the guest's own exit code), nonzero only on eel_run's own errors.
+   --exit-status instead maps the guest's exit(n) — syscall or trap-halt
+   — onto the process exit code, so shell scripts can branch on the
+   guest's result. *)
 
 open Cmdliner
 module Trace = Eel_obs.Trace
 module Metrics = Eel_obs.Metrics
+module Emu = Eel_emu.Emu
 
-let run path rtl itrace trace_file metrics fuel no_predecode =
+let parse_os_file spec =
+  match String.index_opt spec '=' with
+  | None ->
+      Printf.eprintf "eel_run: --os-file expects NAME=PATH, got %S\n" spec;
+      exit 2
+  | Some i ->
+      let name = String.sub spec 0 i in
+      let path = String.sub spec (i + 1) (String.length spec - i - 1) in
+      let ic = open_in_bin path in
+      let n = in_channel_length ic in
+      let data = really_input_string ic n in
+      close_in ic;
+      (name, data)
+
+let run path rtl itrace trace_file metrics fuel no_predecode os os_stdin
+    os_files exit_status =
+  if rtl && os then begin
+    Printf.eprintf "eel_run: --os is not supported under --rtl\n";
+    exit 2
+  end;
   let observing = trace_file <> None || metrics in
   let tracer = if observing then Some (Trace.create ()) else None in
   Trace.set_current tracer;
@@ -27,7 +60,8 @@ let run path rtl itrace trace_file metrics fuel no_predecode =
         | Error e ->
             Trace.mark "analyze-failed"
               ~args:[ ("error", Eel_robust.Diag.error_message e) ]);
-  let profile = if metrics && not rtl then Some (Eel_emu.Emu.create_profile ()) else None in
+  let profile = if metrics && not rtl then Some (Emu.create_profile ()) else None in
+  let os_state = ref None in
   let result =
     Trace.with_span "emulate" @@ fun () ->
     if rtl then (
@@ -39,36 +73,57 @@ let run path rtl itrace trace_file metrics fuel no_predecode =
         if itrace then
           Some
             (function
-            | Eel_emu.Emu.Ev_exec { pc; word } ->
+            | Emu.Ev_exec { pc; word } ->
                 Printf.eprintf "%08x: %s\n" pc
                   (Eel_sparc.Mach.mach.Eel_arch.Machine.disas ~pc word)
             | _ -> ())
         else None
       in
-      let r, _ =
-        Eel_emu.Emu.run_exe ~fuel ?hook ?profile ~predecode:(not no_predecode)
-          exe
+      let t =
+        Trace.with_span "emu.load" (fun () ->
+            Emu.load ~predecode:(not no_predecode) exe)
       in
-      r
+      t.Emu.hook <- hook;
+      t.Emu.profile <- profile;
+      if os then begin
+        let spec =
+          Eel_os.Spec.make
+            ~files:(List.map parse_os_file os_files)
+            ~stdin:os_stdin ()
+        in
+        os_state := Some (Eel_os.Os.install t spec)
+      end;
+      Trace.with_span "emu.run" (fun () -> Emu.run ~fuel t)
   in
-  print_string result.Eel_emu.Emu.out;
-  Printf.eprintf "[exit=%d insns=%d loads=%d stores=%d]\n"
-    result.Eel_emu.Emu.exit_code result.Eel_emu.Emu.insns
-    result.Eel_emu.Emu.loads result.Eel_emu.Emu.stores;
-  Option.iter Eel_emu.Emu.publish_profile profile;
+  print_string result.Emu.out;
+  Printf.eprintf "[exit=%d insns=%d loads=%d stores=%d]\n" result.Emu.exit_code
+    result.Emu.insns result.Emu.loads result.Emu.stores;
+  (match !os_state with
+  | Some st ->
+      Printf.eprintf "[os: syscalls=%d denied=%d]\n" (Eel_os.Os.sys_count st)
+        (Eel_os.Os.denied_count st)
+  | None -> ());
+  Option.iter Emu.publish_profile profile;
   (match (trace_file, tracer) with
   | Some f, Some tr -> Trace.write_chrome_json tr f
   | _ -> ());
   if metrics then Format.eprintf "%a%!" Metrics.pp ();
-  exit result.Eel_emu.Emu.exit_code
+  exit (if exit_status then result.Emu.exit_code else 0)
 
-let run path rtl itrace trace_file metrics fuel no_predecode =
-  try run path rtl itrace trace_file metrics fuel no_predecode with
+let run path rtl itrace trace_file metrics fuel no_predecode os os_stdin
+    os_files exit_status =
+  try
+    run path rtl itrace trace_file metrics fuel no_predecode os os_stdin
+      os_files exit_status
+  with
   | Eel_robust.Diag.Error e ->
       Printf.eprintf "eel_run: %s\n" (Eel_robust.Diag.error_message e);
       exit 1
-  | Eel_emu.Emu.Fault m ->
+  | Emu.Fault m ->
       Printf.eprintf "eel_run: fault: %s\n" m;
+      exit 1
+  | Sys_error m ->
+      Printf.eprintf "eel_run: %s\n" m;
       exit 1
 
 let cmd =
@@ -97,10 +152,34 @@ let cmd =
       & info [ "no-predecode" ]
           ~doc:"decode every dynamic instruction instead of predecoding the text segment at load")
   in
+  let os =
+    Arg.(
+      value & flag
+      & info [ "os" ]
+          ~doc:"install the OS syscall layer (in-memory FS, fd table)")
+  in
+  let os_stdin =
+    Arg.(
+      value & opt string ""
+      & info [ "os-stdin" ] ~docv:"STRING"
+          ~doc:"guest stdin contents (OS mode)")
+  in
+  let os_files =
+    Arg.(
+      value & opt_all string []
+      & info [ "os-file" ] ~docv:"NAME=PATH"
+          ~doc:"preload host file PATH as NAME in the in-memory FS (repeatable)")
+  in
+  let want_exit_status =
+    Arg.(
+      value & flag
+      & info [ "exit-status" ]
+          ~doc:"exit with the guest program's exit code instead of 0")
+  in
   Cmd.v
     (Cmd.info "eel_run" ~doc:"run a SEF executable")
     Term.(
       const run $ path $ rtl $ itrace $ trace_file $ metrics $ fuel
-      $ no_predecode)
+      $ no_predecode $ os $ os_stdin $ os_files $ want_exit_status)
 
 let () = exit (Cmd.eval cmd)

@@ -7,14 +7,20 @@
 open Cmdliner
 
 let run style routines seed strip asm_only out =
+  let os_mode = style = "os" in
   let style =
     match style with
-    | "gcc" -> Eel_workload.Gen.Gcc
+    | "gcc" | "os" -> Eel_workload.Gen.Gcc
     | "sunpro" -> Eel_workload.Gen.Sunpro
     | s -> failwith ("unknown style: " ^ s)
   in
   let cfg = { Eel_workload.Gen.default with style; routines; seed } in
-  let src = Eel_workload.Gen.program cfg in
+  let src, world =
+    if os_mode then
+      let src, w = Eel_workload.Gen.os_program cfg in
+      (src, Some w)
+    else (Eel_workload.Gen.program cfg, None)
+  in
   if asm_only then
     match out with
     | Some path ->
@@ -33,11 +39,27 @@ let run style routines seed strip asm_only out =
     Eel_sef.Sef.write_file path exe;
     Printf.printf "wrote %s (%d bytes of text+data, %d symbols)\n" path
       (Eel_sef.Sef.image_size exe)
-      (List.length exe.Eel_sef.Sef.symbols)
+      (List.length exe.Eel_sef.Sef.symbols);
+    (* the OS world is part of the workload: say what eel_run --os needs *)
+    match world with
+    | None -> ()
+    | Some w ->
+        Printf.printf "os world: stdin %d bytes; files:%s\n"
+          (String.length w.Eel_workload.Gen.ow_stdin)
+          (match w.Eel_workload.Gen.ow_files with
+          | [] -> " (none)"
+          | fs ->
+              String.concat ""
+                (List.map
+                   (fun (n, d) ->
+                     Printf.sprintf " %s(%d bytes)" n (String.length d))
+                   fs))
 
 let cmd =
   let style =
-    Arg.(value & opt string "gcc" & info [ "style" ] ~doc:"gcc or sunpro")
+    Arg.(
+      value & opt string "gcc"
+      & info [ "style" ] ~doc:"gcc, sunpro, or os (I/O-bound OS-mode program)")
   in
   let routines =
     Arg.(value & opt int 20 & info [ "routines" ] ~doc:"number of routines")

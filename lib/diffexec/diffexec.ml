@@ -78,6 +78,7 @@ type run = {
   r_filtered : int;  (** events a contract filter masked at record time *)
   r_filtered_stores : int;  (** masked events that were stores *)
   r_filtered_traps : int;  (** masked events that were traps *)
+  r_filtered_syscalls : int;  (** masked events that were OS syscalls *)
   r_out : string;
   r_insns : int;
   r_regs : int array;  (** final register file *)
@@ -97,15 +98,20 @@ type run = {
     machine (the contract oracle masks an edit's declared side effects
     there, where the stack pointer is still known); [pokes] installs a
     deterministic environment-fault plan ({!Emu.poke}) — the injection
-    campaign corrupts chosen words mid-run through it. *)
+    campaign corrupts chosen words mid-run through it; [os] installs the
+    OS layer (lib/os) with fresh per-run state built from the spec, so
+    the run's syscalls surface as {!Emu.Ob_syscall} events. *)
 let execute ?(fuel = default_fuel) ?limit ?headroom ?(profile = false) ?filter
-    ?predecode ?(pokes = []) (exe : Sef.t) : (run, Diag.error) result =
+    ?predecode ?(pokes = []) ?os (exe : Sef.t) : (run, Diag.error) result =
   match
     try Ok (Emu.load ?headroom ?predecode exe)
     with Emu.Fault m -> Error (Diag.Exe_error { what = "emulator load: " ^ m })
   with
   | Error e -> Error e
   | Ok t ->
+      (match os with
+      | None -> ()
+      | Some spec -> ignore (Eel_os.Os.install t spec));
       let log = Emu.obs_log ?limit () in
       Emu.set_obs t (Some log);
       let prof =
@@ -134,6 +140,7 @@ let execute ?(fuel = default_fuel) ?limit ?headroom ?(profile = false) ?filter
           r_filtered = Emu.obs_filtered log;
           r_filtered_stores = Emu.obs_filtered_stores log;
           r_filtered_traps = Emu.obs_filtered_traps log;
+          r_filtered_syscalls = Emu.obs_filtered_syscalls log;
           r_out = Emu.output t;
           r_insns = Emu.insns_executed t;
           r_regs = Emu.registers t;
@@ -234,6 +241,34 @@ let same_event ~norm_a ~norm_b (a : Emu.obs_event) (b : Emu.obs_event) :
         Error
           ( D_value,
             Printf.sprintf "store%d [0x%x]: value 0x%x vs 0x%x" wa adra va vb )
+      else Ok ()
+  | ( Emu.Ob_syscall { num = na; a0 = a0a; a1 = a1a; a2 = a2a; ret = ra;
+                       err = ea; data = da; _ },
+      Emu.Ob_syscall { num = nb; a0 = a0b; a1 = a1b; a2 = a2b; ret = rb;
+                       err = eb; data = db; _ } ) ->
+      (* the whole call/return pair is the payload: number, arguments
+         (addresses normalized per side — a buffer in added data moves),
+         success/error, result, and the transferred-byte checksum. The pc
+         is reporting metadata, as everywhere. *)
+      if na <> nb then
+        Error (D_value, Printf.sprintf "syscall %d vs syscall %d" na nb)
+      else if ea <> eb then
+        Error
+          ( D_value,
+            Printf.sprintf "syscall %d: %s vs %s" na
+              (if ea then "error" else "success")
+              (if eb then "error" else "success") )
+      else if a0a <> a0b || norm_a a1a <> norm_b a1b || a2a <> a2b then
+        Error
+          ( D_value,
+            Printf.sprintf "syscall %d args (0x%x,0x%x,0x%x) vs (0x%x,0x%x,0x%x)"
+              na a0a a1a a2a a0b a1b a2b )
+      else if ra <> rb then
+        Error (D_value, Printf.sprintf "syscall %d returned %d vs %d" na ra rb)
+      else if da <> db then
+        Error
+          ( D_value,
+            Printf.sprintf "syscall %d transferred data 0x%x vs 0x%x" na da db )
       else Ok ()
   | Emu.Ob_exit { code = ca; _ }, Emu.Ob_exit { code = cb; _ } ->
       if ca = cb then Ok ()
@@ -395,6 +430,7 @@ let publish ?(prefix = "eel.diff") (rp : report) =
 let obs_kind_name : Emu.obs_event -> string = function
   | Emu.Ob_trap _ -> "trap"
   | Emu.Ob_store _ -> "store"
+  | Emu.Ob_syscall _ -> "syscall"
   | Emu.Ob_exit _ -> "exit"
   | Emu.Ob_fault _ -> "fault"
   | Emu.Ob_fuel _ -> "fuel"
@@ -542,6 +578,9 @@ type edit_report = {
   er_masked : int;  (** edited-run events filtered under the contract *)
   er_masked_stores : int;  (** masked events that were stores *)
   er_masked_traps : int;  (** masked events that were traps *)
+  er_masked_sys : int;
+      (** masked syscall events: the edited run's filtered denials plus
+          the original-side calls dropped under a declared suppression *)
   er_profile_orig : Emu.profile option;
       (** the original run's ground-truth profile (always collected) *)
   er_profile_edit : Emu.profile option;
@@ -549,16 +588,21 @@ type edit_report = {
           ledger diffs the two *)
 }
 
+(** [os] runs both sides under the OS layer with that world spec; [os_b]
+    overrides the {e edited} side's spec (SFI interposition verifies the
+    edited image under a deny policy while the original runs unrestricted,
+    with the suppression contract-declared). *)
 let verify_edit ?fuel ?limit ?(norm_b = fun v -> v) ?block_of ?pokes_b
-    ?(profiles = false) ~(contract : Contract.t) (orig : Sef.t)
+    ?(profiles = false) ?os ?os_b ~(contract : Contract.t) (orig : Sef.t)
     (edited : Sef.t) : (edit_report, Diag.error) result =
   Trace.with_span "equiv.verify"
     ~args:[ ("tool", contract.Contract.ct_tool) ]
   @@ fun () ->
   let head_a, head_b = equalized_headroom orig edited in
+  let os_edit = match os_b with Some _ -> os_b | None -> os in
   match
     Trace.with_span "equiv.run.original" (fun () ->
-        execute ?fuel ?limit ~headroom:head_a ~profile:true orig)
+        execute ?fuel ?limit ~headroom:head_a ~profile:true ?os orig)
   with
   | Error e -> Error e
   | Ok ra -> (
@@ -566,32 +610,71 @@ let verify_edit ?fuel ?limit ?(norm_b = fun v -> v) ?block_of ?pokes_b
       match
         Trace.with_span "equiv.run.edited" (fun () ->
             execute ?fuel ?limit ~headroom:head_b ~profile:profiles
-              ~filter:keep ?pokes:pokes_b edited)
+              ~filter:keep ?pokes:pokes_b ?os:os_edit edited)
       with
       | Error e -> Error e
       | Ok rb ->
           (* the original's events as the edited program would observe
-             them: store addresses pushed through the edit's transform *)
+             them: store addresses pushed through the edit's transform,
+             syscall fds through the fd transform *)
           let ra =
-            match contract.Contract.ct_addr_norm with
-            | None -> ra
-            | Some _ ->
-                {
-                  ra with
-                  r_events =
-                    Array.map (Contract.normalize_orig contract) ra.r_events;
-                }
+            if
+              contract.Contract.ct_addr_norm <> None
+              || contract.Contract.ct_fd_norm <> None
+            then
+              {
+                ra with
+                r_events =
+                  Array.map (Contract.normalize_orig contract) ra.r_events;
+              }
+            else ra
+          in
+          (* a declared syscall suppression removes the matching
+             {e successful} calls from the original stream post-hoc (the
+             edited side's denials were filtered at record time) *)
+          let suppressed_orig = ref 0 in
+          let ra =
+            if contract.Contract.ct_sys_suppress = None then ra
+            else begin
+              let keep_evs =
+                Array.of_list
+                  (List.filter
+                     (fun ev ->
+                       if Contract.suppressed_orig contract ev then begin
+                         incr suppressed_orig;
+                         false
+                       end
+                       else true)
+                     (Array.to_list ra.r_events))
+              in
+              {
+                ra with
+                r_events = keep_evs;
+                r_total = ra.r_total - !suppressed_orig;
+              }
+            end
           in
           (* an edited-side store to an address the original run never
-             stores to is instrumentation traffic, not the program *)
+             stores to is instrumentation traffic, not the program; an
+             edited-side syscall error return the original run never
+             produces for that call — or a syscall number it never makes —
+             is an undeclared interposition *)
           let orig_stores = Hashtbl.create 1024 in
+          let orig_sys = Hashtbl.create 16 in
+          let orig_sys_err = Hashtbl.create 16 in
           Array.iter
             (function
               | Emu.Ob_store { addr; _ } -> Hashtbl.replace orig_stores addr ()
+              | Emu.Ob_syscall { num; err; _ } ->
+                  Hashtbl.replace orig_sys num ();
+                  if err then Hashtbl.replace orig_sys_err num ()
               | _ -> ())
             ra.r_events;
           let suspect = function
             | Emu.Ob_store { addr; _ } -> not (Hashtbl.mem orig_stores addr)
+            | Emu.Ob_syscall { num; err; _ } ->
+                (not (Hashtbl.mem orig_sys num))
+                || (err && not (Hashtbl.mem orig_sys_err num))
             | _ -> false
           in
           let rp = compare_runs ~norm_b ?block_of ~suspect ra rb in
@@ -627,9 +710,10 @@ let verify_edit ?fuel ?limit ?(norm_b = fun v -> v) ?block_of ?pokes_b
           Ok
             {
               er_report = rp;
-              er_masked = rb.r_filtered;
+              er_masked = rb.r_filtered + !suppressed_orig;
               er_masked_stores = rb.r_filtered_stores;
               er_masked_traps = rb.r_filtered_traps;
+              er_masked_sys = rb.r_filtered_syscalls + !suppressed_orig;
               er_profile_orig = ra.r_profile;
               er_profile_edit = rb.r_profile;
             })

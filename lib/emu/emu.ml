@@ -56,6 +56,22 @@ type obs_event =
       (** a [ta n] system call; [arg] is %o0 at trap time *)
   | Ob_store of { pc : int; addr : int; width : int; value : int }
       (** for [std], [value] is the even register of the pair *)
+  | Ob_syscall of {
+      pc : int;
+      num : int;  (** OS syscall number (already decoded from the immediate) *)
+      a0 : int;  (** %o0 at trap time — fd / path address / exit code *)
+      a1 : int;
+      a2 : int;
+      ret : int;  (** %o0 after the call: result, or errno when [err] *)
+      err : bool;  (** the carry flag the call left behind *)
+      data : int;
+          (** checksum of the bytes actually transferred (reads/writes), 0
+              otherwise — catches a same-length-different-bytes divergence
+              without logging payloads *)
+    }
+      (** an OS-layer system call dispatched by an installed trap handler
+          (see {!set_trap_handler}); the full call/return pair as one
+          event, so the differential oracle compares syscall {e streams} *)
   | Ob_exit of { pc : int; code : int }  (** [ta 1] *)
   | Ob_fault of { pc : int; what : string }  (** machine fault (see {!Fault}) *)
   | Ob_fuel of { pc : int }  (** the fuel budget ran out at [pc] *)
@@ -63,6 +79,7 @@ type obs_event =
 let obs_pc = function
   | Ob_trap { pc; _ }
   | Ob_store { pc; _ }
+  | Ob_syscall { pc; _ }
   | Ob_exit { pc; _ }
   | Ob_fault { pc; _ }
   | Ob_fuel { pc } ->
@@ -73,6 +90,11 @@ let pp_obs fmt = function
       Format.fprintf fmt "trap %d (arg=0x%x) at 0x%x" num arg pc
   | Ob_store { pc; addr; width; value } ->
       Format.fprintf fmt "store%d [0x%x]=0x%x at 0x%x" width addr value pc
+  | Ob_syscall { pc; num; a0; a1; a2; ret; err; data } ->
+      Format.fprintf fmt "syscall %d (0x%x, 0x%x, 0x%x) -> %s%d [data=0x%x] at 0x%x"
+        num a0 a1 a2
+        (if err then "E" else "")
+        ret data pc
   | Ob_exit { pc; code } -> Format.fprintf fmt "exit %d at 0x%x" code pc
   | Ob_fault { pc; what } -> Format.fprintf fmt "fault at 0x%x: %s" pc what
   | Ob_fuel { pc } -> Format.fprintf fmt "out of fuel at 0x%x" pc
@@ -92,6 +114,8 @@ type obs_log = {
           compares length-for-length against an unfiltered one *)
   mutable ol_filtered_stores : int;  (** filtered events that were stores *)
   mutable ol_filtered_traps : int;  (** filtered events that were traps *)
+  mutable ol_filtered_syscalls : int;
+      (** filtered events that were OS syscalls *)
 }
 
 let default_obs_limit = 65536
@@ -104,6 +128,7 @@ let obs_log ?(limit = default_obs_limit) () =
     ol_filtered = 0;
     ol_filtered_stores = 0;
     ol_filtered_traps = 0;
+    ol_filtered_syscalls = 0;
   }
 
 let obs_record l ev =
@@ -129,6 +154,8 @@ let obs_filtered l = l.ol_filtered
 let obs_filtered_stores l = l.ol_filtered_stores
 
 let obs_filtered_traps l = l.ol_filtered_traps
+
+let obs_filtered_syscalls l = l.ol_filtered_syscalls
 
 (** {1 Execution profiling}
 
@@ -388,6 +415,12 @@ type t = {
   code_lo : int;  (** base address of [code]; meaningless when empty *)
   mutable pokes : poke list;
       (** pending environment faults, sorted by [pk_at]; see {!set_pokes} *)
+  mutable trap_handler : (t -> int -> bool) option;
+      (** optional OS layer (lib/os): consulted before the builtin [ta n]
+          dispatch with the {e raw} trap number; returning [true] means the
+          trap was handled (registers/memory/exit already updated and any
+          {!Ob_syscall} event emitted), [false] falls through to the
+          builtin convention. See {!set_trap_handler}. *)
 }
 
 (** A deterministic environment fault: when the machine has executed
@@ -492,6 +525,7 @@ let load ?(headroom = default_headroom) ?(predecode = true)
     code;
     code_lo = text_lo;
     pokes = [];
+    trap_handler = None;
   }
 
 (** [set_obs t log] installs (or, with [None], removes) the observable-event
@@ -521,6 +555,8 @@ let obs_emit t ev =
           match ev with
           | Ob_store _ -> l.ol_filtered_stores <- l.ol_filtered_stores + 1
           | Ob_trap _ -> l.ol_filtered_traps <- l.ol_filtered_traps + 1
+          | Ob_syscall _ ->
+              l.ol_filtered_syscalls <- l.ol_filtered_syscalls + 1
           | _ -> ())
       | _ -> obs_record l ev)
 
@@ -610,7 +646,7 @@ let icc_sub a b r =
 
 (** {1 System calls} *)
 
-let syscall t num =
+let builtin_syscall t num =
   (* trap and exit flow through the same observable-event constructor set
      as faults and fuel exhaustion; the match guard keeps the no-sink path
      allocation-free *)
@@ -637,6 +673,18 @@ let syscall t num =
       set_reg t Regs.o0 t.brk
   | 7 -> set_reg t Regs.o0 t.ninsns
   | n -> fault "unknown syscall %d at pc=0x%x" n t.pc
+
+(* an installed OS-layer handler gets first refusal on every trap number;
+   a [false] return falls through to the builtin convention above, so OS
+   programs can still use e.g. [ta 2] (putint) for debugging output *)
+let syscall t num =
+  match t.trap_handler with
+  | Some h when h t num -> ()
+  | _ -> builtin_syscall t num
+
+(** [set_trap_handler t h] installs (or, with [None], removes) an OS-layer
+    trap handler (see {!type:t}'s [trap_handler]). *)
+let set_trap_handler t h = t.trap_handler <- h
 
 (** {1 Execution} *)
 

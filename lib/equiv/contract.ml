@@ -56,17 +56,35 @@ type t = {
   ct_traps : int list;  (** extra trap numbers the instrumentation issues *)
   ct_addr_norm : (int -> int) option;
       (** applied to original-side store addresses before comparison *)
+  ct_sys_extra : int list;
+      (** extra OS {e syscall} numbers the instrumentation issues (masked
+          from the edited run's log at record time, like [ct_traps]) *)
+  ct_sys_suppress : (int -> int -> bool) option;
+      (** declared syscall suppression, as a [(num, a0)] predicate: the
+          edit interposes on matching calls and denies them (SFI's policy
+          table). The oracle drops the matching {e error} returns from the
+          edited run at record time and the matching {e successful} calls
+          from the original run post-hoc, so both streams describe the
+          world the sandboxed program actually reaches. An undeclared
+          denial is a contract violation, not an allowed effect. *)
+  ct_fd_norm : (int -> int -> int) option;
+      (** fd-space transform [(num, a0) -> a0'] applied to original-side
+          syscall fd arguments before comparison (an edit that renumbers
+          descriptors, the fd analog of [ct_addr_norm]) *)
   ct_checks : check list;
 }
 
 let make ?(regions = []) ?(red_zone = 0) ?(traps = []) ?addr_norm
-    ?(checks = []) tool =
+    ?(sys_extra = []) ?sys_suppress ?fd_norm ?(checks = []) tool =
   {
     ct_tool = tool;
     ct_regions = regions;
     ct_red_zone = max 0 red_zone;
     ct_traps = traps;
     ct_addr_norm = addr_norm;
+    ct_sys_extra = sys_extra;
+    ct_sys_suppress = sys_suppress;
+    ct_fd_norm = fd_norm;
     ct_checks = checks;
   }
 
@@ -95,15 +113,46 @@ let declared t ~sp ev =
       declares_store t addr
       || (t.ct_red_zone > 0 && addr >= sp - t.ct_red_zone && addr < sp)
   | Emu.Ob_trap { num; _ } -> List.mem num t.ct_traps
+  | Emu.Ob_syscall { num; a0; err; _ } ->
+      List.mem num t.ct_sys_extra
+      || err
+         && (match t.ct_sys_suppress with
+            | Some f -> f num a0
+            | None -> false)
+  | _ -> false
+
+(** Does the contract declare the suppression of syscall [num] with first
+    argument [a0]? *)
+let suppresses t num a0 =
+  match t.ct_sys_suppress with Some f -> f num a0 | None -> false
+
+(** [suppressed_orig t ev] — is [ev] an original-side event the declared
+    syscall suppression removes from the comparison? Any call the
+    interposition denies is dropped, whatever its original outcome: the
+    sandboxed world has no record of whether the call would have
+    succeeded or failed, only that it was refused. Applied post-hoc by
+    the oracle. *)
+let suppressed_orig t ev =
+  match ev with
+  | Emu.Ob_syscall { num; a0; _ } -> suppresses t num a0
   | _ -> false
 
 (** [normalize_orig t ev] — the original-side event as the edited program
     would observe it: store addresses pushed through [addr_norm] (SFI's
-    clamp); everything else unchanged. *)
+    clamp) and syscall fd arguments through [fd_norm]; everything else
+    unchanged. *)
 let normalize_orig t ev =
-  match (t.ct_addr_norm, ev) with
-  | Some f, Emu.Ob_store { pc; addr; width; value } ->
-      Emu.Ob_store { pc; addr = f addr; width; value }
+  match ev with
+  | Emu.Ob_store { pc; addr; width; value } -> (
+      match t.ct_addr_norm with
+      | Some f -> Emu.Ob_store { pc; addr = f addr; width; value }
+      | None -> ev)
+  | Emu.Ob_syscall ({ num; a0; _ } as s) -> (
+      match t.ct_fd_norm with
+      | Some f ->
+          let a0' = f num a0 in
+          if a0' = a0 then ev else Emu.Ob_syscall { s with a0 = a0' }
+      | None -> ev)
   | _ -> ev
 
 (** [mask_events t evs] — post-hoc filtering of an event array under the
@@ -149,6 +198,22 @@ let claim_trap t n = { t with ct_traps = n :: t.ct_traps }
     meet. *)
 let claim_addr_norm t f = { t with ct_addr_norm = Some f }
 
+(** Claim an extra instrumentation {e syscall} number — masking an OS call
+    the program itself makes (the syscall-surface analog of
+    {!claim_trap}). *)
+let claim_sys t n = { t with ct_sys_extra = n :: t.ct_sys_extra }
+
+(** Claim a syscall suppression the edit never applies — the "phantom
+    interposition" lie: the oracle drops matching successful calls from
+    the original stream, but the edited run still makes them, so lockstep
+    breaks. *)
+let claim_sys_suppress t f = { t with ct_sys_suppress = Some f }
+
+(** Forget the declared suppression while the edit still interposes — the
+    "undeclared deny" lie: the edited run's denials surface as undeclared
+    error returns and the original's suppressed calls go unmatched. *)
+let forget_sys_suppress t = { t with ct_sys_suppress = None }
+
 (** Drop every post-run promise — the "broken promise" direction is
     exercised the other way around (keep the checks, skew the output), but
     the campaign also needs promise-free variants for isolating event-level
@@ -178,4 +243,7 @@ let pp fmt t =
     Format.fprintf fmt " red-zone %d;" t.ct_red_zone;
   List.iter (fun n -> Format.fprintf fmt " trap %d;" n) t.ct_traps;
   if t.ct_addr_norm <> None then Format.fprintf fmt " addr-norm;";
+  List.iter (fun n -> Format.fprintf fmt " sys %d;" n) t.ct_sys_extra;
+  if t.ct_sys_suppress <> None then Format.fprintf fmt " sys-suppress;";
+  if t.ct_fd_norm <> None then Format.fprintf fmt " fd-norm;";
   List.iter (fun c -> Format.fprintf fmt " check %s;" c.ck_name) t.ct_checks

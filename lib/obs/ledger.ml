@@ -27,6 +27,10 @@ type entry = {
   le_mem_edited : int;
   le_stores_masked : int;  (** store events masked by the contract *)
   le_traps_masked : int;  (** trap events masked by the contract *)
+  le_sys_masked : int;
+      (** OS syscall events masked by the contract: extra instrumentation
+          calls plus declared suppressions (both the edited run's denial
+          returns and the original run's suppressed calls) *)
   le_unexplained : int;
       (** extra store instructions the contract did not account for:
           (edited - original store insns) - masked stores; 0 when every
@@ -36,7 +40,7 @@ type entry = {
 let bytes_added e = e.le_bytes_edited - e.le_bytes_orig
 let extra_insns e = e.le_insns_edited - e.le_insns_orig
 let extra_mem e = e.le_mem_edited - e.le_mem_orig
-let masked e = e.le_stores_masked + e.le_traps_masked
+let masked e = e.le_stores_masked + e.le_traps_masked + e.le_sys_masked
 
 (** Dynamic expansion factor ([edited / original] instructions). *)
 let expansion e =
@@ -65,6 +69,7 @@ let record e =
   c "extra_insns" (extra_insns e);
   c "extra_mem" (extra_mem e);
   c "extra_traps" e.le_traps_masked;
+  c "sys_masked" e.le_sys_masked;
   c "masked_events" (masked e);
   c "unexplained" e.le_unexplained
 
@@ -95,11 +100,12 @@ let entry_to_json e =
      \"routines_touched\": %d, \"insns_orig\": %d, \"insns_edited\": %d, \
      \"expansion\": %.3f, \"mem_orig\": %d, \"mem_edited\": %d, \
      \"extra_mem\": %d, \"stores_masked\": %d, \"traps_masked\": %d, \
-     \"unexplained\": %d}"
+     \"sys_masked\": %d, \"unexplained\": %d}"
     e.le_tool e.le_prog e.le_verdict e.le_sites e.le_bytes_orig
     e.le_bytes_edited (bytes_added e) e.le_routines_touched e.le_insns_orig
     e.le_insns_edited (expansion e) e.le_mem_orig e.le_mem_edited
-    (extra_mem e) e.le_stores_masked e.le_traps_masked e.le_unexplained
+    (extra_mem e) e.le_stores_masked e.le_traps_masked e.le_sys_masked
+    e.le_unexplained
 
 let to_json es =
   "[" ^ String.concat ",\n " (List.map entry_to_json es) ^ "]"

@@ -1,0 +1,41 @@
+(** The per-run file-descriptor table. Fds 0–2 are pre-opened: 0 reads the
+    spec's stdin bytes, 1 and 2 append to the emulator's output buffer (so
+    OS programs produce the same observable [out] stream the builtin
+    write trap does). [open] hands out the lowest free slot at 3 or
+    above, Unix style. *)
+
+type target =
+  | Fd_stdin of { data : string; mutable pos : int }
+  | Fd_out  (** emulator output buffer (fds 1 and 2) *)
+  | Fd_file of { file : Fs.file; mutable pos : int; writable : bool }
+
+type t = { slots : target option array }
+
+let create ~stdin =
+  let slots = Array.make (Abi.max_fd + 1) None in
+  slots.(0) <- Some (Fd_stdin { data = stdin; pos = 0 });
+  slots.(1) <- Some Fd_out;
+  slots.(2) <- Some Fd_out;
+  { slots }
+
+let get t fd =
+  if fd < 0 || fd > Abi.max_fd then None else t.slots.(fd)
+
+(** Lowest free fd >= 3, or [None] when the table is full ([EMFILE]). *)
+let alloc t target =
+  let rec find fd =
+    if fd > Abi.max_fd then None
+    else if t.slots.(fd) = None then begin
+      t.slots.(fd) <- Some target;
+      Some fd
+    end
+    else find (fd + 1)
+  in
+  find 3
+
+let close t fd =
+  match get t fd with
+  | None -> false
+  | Some _ ->
+      t.slots.(fd) <- None;
+      true

@@ -1,0 +1,56 @@
+(** A deterministic in-memory file system: a flat namespace of growable
+    byte files. A fresh [t] is rebuilt from its {!Spec}-declared snapshot
+    at every {!Os.install}, so no state survives between runs — the
+    per-run snapshot/reset guarantee the differential oracle depends on. *)
+
+type file = { mutable f_data : Bytes.t; mutable f_size : int }
+
+type t = { fs_files : (string, file) Hashtbl.t }
+
+let file_of_string s =
+  { f_data = Bytes.of_string s; f_size = String.length s }
+
+(** [create files] builds a file system holding exactly [files] (later
+    bindings of the same name win, matching [List.assoc] on a spec). *)
+let create files =
+  let t = { fs_files = Hashtbl.create 8 } in
+  List.iter
+    (fun (name, contents) ->
+      Hashtbl.replace t.fs_files name (file_of_string contents))
+    (List.rev files);
+  t
+
+let lookup t name = Hashtbl.find_opt t.fs_files name
+
+(** Open-for-write semantics: truncate an existing file, or create an
+    empty one. *)
+let create_file t name =
+  let f = file_of_string "" in
+  Hashtbl.replace t.fs_files name f;
+  f
+
+let size f = f.f_size
+
+(** [read f ~pos ~len] returns up to [len] bytes starting at [pos]; short
+    (or empty, at/after EOF) reads are the EOF signal. *)
+let read f ~pos ~len =
+  if pos >= f.f_size || len <= 0 then ""
+  else
+    let n = min len (f.f_size - pos) in
+    Bytes.sub_string f.f_data pos n
+
+(** [write f ~pos s] writes [s] at [pos], growing the file as needed
+    (zero-filling any gap, like seeking past EOF). *)
+let write f ~pos s =
+  let len = String.length s in
+  let hi = pos + len in
+  if hi > Bytes.length f.f_data then begin
+    let cap = max hi (max 64 (2 * Bytes.length f.f_data)) in
+    let grown = Bytes.make cap '\000' in
+    Bytes.blit f.f_data 0 grown 0 f.f_size;
+    f.f_data <- grown
+  end;
+  Bytes.blit_string s 0 f.f_data pos len;
+  if hi > f.f_size then f.f_size <- hi
+
+let contents f = Bytes.sub_string f.f_data 0 f.f_size

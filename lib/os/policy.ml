@@ -1,0 +1,29 @@
+(** Syscall interposition policies. A policy is consulted by the
+    dispatcher {e before} any side effect; a denial returns the errno
+    through the normal carry-flag convention with the call's effect fully
+    suppressed. Policies are first-order data (not closures) so a
+    {!Spec.t} stays digestible for the content-addressed job cache. *)
+
+type t =
+  | Allow_all
+  | Deny_write_fd_above of int
+      (** deny [write] to any fd strictly greater than the bound with
+          [EPERM] — the SFI interposition table: fd 0–2 (the standard
+          streams) stay writable, everything else is a protection fault *)
+
+type verdict = Allow | Deny of int  (** errno *)
+
+let check t ~num ~a0 =
+  match t with
+  | Allow_all -> Allow
+  | Deny_write_fd_above bound ->
+      if num = Abi.sys_write && a0 > bound then Deny Abi.eperm else Allow
+
+let name = function
+  | Allow_all -> "allow-all"
+  | Deny_write_fd_above n -> Printf.sprintf "deny-write-fd>%d" n
+
+(** Does [t] deny the (syscall, first-argument) pair? The contract layer
+    uses this shape — a plain [(num, a0)] predicate — to declare the same
+    suppression the policy enforces. *)
+let denies t num a0 = check t ~num ~a0 <> Allow

@@ -1,0 +1,41 @@
+(** The deterministic OS world a run executes against: initial file
+    snapshot, stdin bytes, and the interposition policy. A spec is pure
+    data — every {!Os.install} rebuilds fresh state from it, and
+    {!digest} gives the content-addressed cache a stable key. *)
+
+type t = {
+  sp_files : (string * string) list;  (** name -> initial contents *)
+  sp_stdin : string;
+  sp_policy : Policy.t;
+}
+
+let make ?(files = []) ?(stdin = "") ?(policy = Policy.Allow_all) () =
+  { sp_files = files; sp_stdin = stdin; sp_policy = policy }
+
+let empty = make ()
+
+let with_policy t policy = { t with sp_policy = policy }
+
+(* canonical encoding: length-prefixed fields, so no separator can be
+   forged by file contents *)
+let encode t =
+  let b = Buffer.create 256 in
+  let str s =
+    Buffer.add_string b (string_of_int (String.length s));
+    Buffer.add_char b ':';
+    Buffer.add_string b s
+  in
+  Buffer.add_string b "osspec1;";
+  Buffer.add_string b (string_of_int (List.length t.sp_files));
+  Buffer.add_char b ';';
+  List.iter
+    (fun (name, contents) ->
+      str name;
+      str contents)
+    t.sp_files;
+  str t.sp_stdin;
+  str (Policy.name t.sp_policy);
+  Buffer.contents b
+
+(** A stable content digest of the whole world (files, stdin, policy). *)
+let digest t = Digest.to_hex (Digest.string (encode t))

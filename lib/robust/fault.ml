@@ -56,15 +56,22 @@ type fclass =
   | Redzone_spill  (** edited insn becomes a spill one slot past the zone *)
   | Wild_trap  (** edited insn becomes a trap the program never issues *)
   | Count_skew  (** an instrumentation word is corrupted mid-run *)
+  | Drop_syscall  (** an executed OS-trap insn becomes a nop: dropped call *)
+  | Undeclared_deny
+      (** edited side runs under a denying interposition policy with no
+          declared suppression — the "undeclared deny" lie on a live
+          world *)
   | Forget_region  (** contract forgets a declared region *)
   | Mask_store  (** contract claims a region over live program data *)
   | Mask_trap  (** contract claims a program trap as instrumentation *)
+  | Mask_sys  (** contract claims a program {e syscall} as its own *)
   | Phantom_norm  (** contract claims an addr transform the edit lacks *)
 
 let all_classes =
   [
     Stray_store; Clobber_reg; Redzone_spill; Wild_trap; Count_skew;
-    Forget_region; Mask_store; Mask_trap; Phantom_norm;
+    Drop_syscall; Undeclared_deny; Forget_region; Mask_store; Mask_trap;
+    Mask_sys; Phantom_norm;
   ]
 
 let class_name = function
@@ -73,9 +80,12 @@ let class_name = function
   | Redzone_spill -> "redzone-spill"
   | Wild_trap -> "wild-trap"
   | Count_skew -> "count-skew"
+  | Drop_syscall -> "drop-syscall"
+  | Undeclared_deny -> "undeclared-deny"
   | Forget_region -> "forget-region"
   | Mask_store -> "mask-store"
   | Mask_trap -> "mask-trap"
+  | Mask_sys -> "mask-sys"
   | Phantom_norm -> "phantom-norm"
 
 let class_of_name s =
@@ -83,9 +93,12 @@ let class_of_name s =
 
 (** Which of the tentpole's attack surfaces a class belongs to. *)
 let surface = function
-  | Stray_store | Clobber_reg | Redzone_spill | Wild_trap | Count_skew ->
+  | Stray_store | Clobber_reg | Redzone_spill | Wild_trap | Count_skew
+  | Drop_syscall ->
       "edit"
-  | Forget_region | Mask_store | Mask_trap | Phantom_norm -> "contract"
+  | Undeclared_deny | Forget_region | Mask_store | Mask_trap | Mask_sys
+  | Phantom_norm ->
+      "contract"
 
 (** {1 Site discovery}
 
@@ -106,6 +119,17 @@ type inst = {
           in first-execution order, deduplicated *)
   i_stores : int list;  (** distinct original-run store addresses *)
   i_nums : int list;  (** distinct trap numbers, first-seen order *)
+  i_os : Eel_os.Spec.t option;  (** the OS world, for OS-mode programs *)
+  i_sys : (int * int) list;
+      (** (edited address of an executed OS-trap insn, its syscall
+          number), first-execution order, deduplicated *)
+  i_sys_nums : int list;  (** distinct syscall numbers, first-seen order *)
+  i_sys_deny : bool;
+      (** the run made a call the write-denying policy would refuse *)
+  i_live_regions : int list;
+      (** indices into the contract's regions that the {e edited} run
+          actually stores into — forgetting a region nobody wrote is
+          undetectable by design, not an oracle blind spot *)
 }
 
 (* cap per-class site lists so full-set arming and greedy minimization stay
@@ -114,9 +138,10 @@ let max_sites = 6
 
 let take n l = List.filteri (fun i _ -> i < n) l
 
-(** [instrument ~fuel tool (prog, exe)] applies [tool] and discovers the
-    injectable sites from one profiled run of the original. *)
-let instrument ~fuel tool (prog, exe) : (inst, string) result =
+(** [instrument ~fuel ?os tool (prog, exe)] applies [tool] and discovers
+    the injectable sites from one profiled run of the original; [os] runs
+    it against an OS world, adding the syscall-surface sites. *)
+let instrument ~fuel ?os tool (prog, exe) : (inst, string) result =
   match
     Diag.guard (fun () ->
         match Toolbox.apply tool mach exe with
@@ -127,13 +152,41 @@ let instrument ~fuel tool (prog, exe) : (inst, string) result =
   | Ok ap -> (
       (* the discovery run must see the same memory geometry verify_edit
          will use, or stack store addresses would not line up *)
-      let head_a, _ = Diffexec.equalized_headroom exe ap.Toolbox.ap_edited in
-      match Diffexec.execute ~fuel ~headroom:head_a exe with
+      let head_a, head_b =
+        Diffexec.equalized_headroom exe ap.Toolbox.ap_edited
+      in
+      (* one raw edited run (no contract filter): which declared regions
+         does the instrumentation actually store into here? *)
+      let live_regions =
+        let regions = ap.Toolbox.ap_contract.Contract.ct_regions in
+        if regions = [] then []
+        else
+          match
+            Diffexec.execute ~fuel ~headroom:head_b ?os
+              ap.Toolbox.ap_edited
+          with
+          | Error _ -> []
+          | Ok rb ->
+              List.mapi (fun i r -> (i, r)) regions
+              |> List.filter_map (fun (i, r) ->
+                     let hit = ref false in
+                     Array.iter
+                       (function
+                         | Emu.Ob_store { addr; _ }
+                           when Contract.in_region r addr ->
+                             hit := true
+                         | _ -> ())
+                       rb.Diffexec.r_events;
+                     if !hit then Some i else None)
+      in
+      match Diffexec.execute ~fuel ~headroom:head_a ?os exe with
       | Error e -> Error (Diag.error_message e)
       | Ok r ->
           let traps = ref [] and stores = ref [] and nums = ref [] in
+          let sys = ref [] and sys_nums = ref [] and sys_deny = ref false in
           let seen_pc = Hashtbl.create 16 in
           let seen_addr = Hashtbl.create 64 in
+          let seen_sys_pc = Hashtbl.create 16 in
           Array.iter
             (function
               | Emu.Ob_trap { pc; num; _ } ->
@@ -143,6 +196,16 @@ let instrument ~fuel tool (prog, exe) : (inst, string) result =
                     | Some epc -> traps := (epc, num) :: !traps
                     | None -> ());
                   if not (List.mem num !nums) then nums := num :: !nums
+              | Emu.Ob_syscall { pc; num; a0; _ } ->
+                  if not (Hashtbl.mem seen_sys_pc pc) then (
+                    Hashtbl.add seen_sys_pc pc ();
+                    match ap.Toolbox.ap_edited_addr pc with
+                    | Some epc -> sys := (epc, num) :: !sys
+                    | None -> ());
+                  if not (List.mem num !sys_nums) then
+                    sys_nums := num :: !sys_nums;
+                  if Eel_os.Policy.denies Toolbox.sfi_policy num a0 then
+                    sys_deny := true
               | Emu.Ob_store { addr; _ } ->
                   if not (Hashtbl.mem seen_addr addr) then (
                     Hashtbl.add seen_addr addr ();
@@ -158,6 +221,11 @@ let instrument ~fuel tool (prog, exe) : (inst, string) result =
               i_traps = List.rev !traps;
               i_stores = List.rev !stores;
               i_nums = List.rev !nums;
+              i_os = os;
+              i_sys = List.rev !sys;
+              i_sys_nums = List.rev !sys_nums;
+              i_sys_deny = !sys_deny;
+              i_live_regions = live_regions;
             })
 
 (** {1 Arming a fault}
@@ -194,6 +262,26 @@ let word_wild_trap ~avoid =
   let num = if avoid = 3 then 2 else 3 in
   Insn.encode (Insn.Ticc { cond = Insn.CA; rs1 = Regs.g0; op2 = Insn.O_imm num })
 
+(* [add %g0, 0, %g0]: the nop that drops a syscall *)
+let word_nop =
+  Insn.encode
+    (Insn.Alu { op = Insn.Add; rs1 = Regs.g0; op2 = Insn.O_imm 0; rd = Regs.g0 })
+
+(* [Drop_syscall]'s menu: only calls whose loss leaves the program
+   terminating and observably different. Dropping an [open] or [read]
+   leaves a stale register driving the I/O loop, so the edited run
+   spins to fuel exhaustion — the oracle rightly reports truncation,
+   not divergence, and the trial proves nothing. Dropping a [write],
+   [close] or [exit] keeps the read-driven control flow intact and
+   surfaces as a missing event. *)
+let droppable_sys (t : inst) =
+  take max_sites
+    (List.filter
+       (fun (_, num) ->
+         List.mem num
+           [ Eel_os.Abi.sys_write; Eel_os.Abi.sys_close; Eel_os.Abi.sys_exit ])
+       t.i_sys)
+
 (** The class's site menu: one human-readable description per site.
     An empty list means the class does not apply to this instrumented
     program (SFI declares no regions and exposes no counters). *)
@@ -209,10 +297,28 @@ let sites (t : inst) cls : string list =
   | Count_skew ->
       take max_sites
         (List.map (fun (label, _, _) -> label) t.i_ap.Toolbox.ap_targets)
-  | Forget_region ->
+  | Drop_syscall ->
       List.map
-        (fun (r : Contract.region) -> "forget region " ^ r.Contract.rg_name)
-        t.i_ap.Toolbox.ap_contract.Contract.ct_regions
+        (fun (epc, num) ->
+          Printf.sprintf "os syscall %d site at edited 0x%x" num epc)
+        (droppable_sys t)
+  | Undeclared_deny ->
+      if t.i_sys_deny then
+        [ "deny write-to-fd>2 with no declared suppression" ]
+      else []
+  | Mask_sys ->
+      List.map
+        (fun n -> Printf.sprintf "mask program syscall %d" n)
+        t.i_sys_nums
+  | Forget_region ->
+      (* only regions the edited run stores into: forgetting a region
+         nobody wrote is undetectable by design, not an oracle gap *)
+      let regions = t.i_ap.Toolbox.ap_contract.Contract.ct_regions in
+      List.map
+        (fun i ->
+          let r : Contract.region = List.nth regions i in
+          "forget region " ^ r.Contract.rg_name)
+        t.i_live_regions
   | Mask_store ->
       take max_sites
         (List.map
@@ -228,6 +334,8 @@ type armed = {
   a_edited : Sef.t;
   a_contract : Contract.t;
   a_pokes : Emu.poke list;
+  a_os_b : Eel_os.Spec.t option;
+      (** edited-side OS world override ([Undeclared_deny]) *)
   a_desc : string;
 }
 
@@ -242,7 +350,7 @@ let arm (t : inst) cls idxs : armed =
   in
   let base =
     { a_edited = t.i_ap.Toolbox.ap_edited; a_contract = contract;
-      a_pokes = []; a_desc = desc }
+      a_pokes = []; a_os_b = None; a_desc = desc }
   in
   let patch word_of =
     let edited = Mutate.copy t.i_ap.Toolbox.ap_edited in
@@ -258,6 +366,32 @@ let arm (t : inst) cls idxs : armed =
   | Clobber_reg -> patch (fun ~avoid:_ -> word_clobber)
   | Redzone_spill -> patch (fun ~avoid:_ -> word_redzone)
   | Wild_trap -> patch (fun ~avoid -> word_wild_trap ~avoid)
+  | Drop_syscall ->
+      let edited = Mutate.copy t.i_ap.Toolbox.ap_edited in
+      let menu = droppable_sys t in
+      List.iter
+        (fun i ->
+          let epc, _ = List.nth menu i in
+          ignore (Sef.patch32 edited epc word_nop))
+        chosen;
+      { base with a_edited = edited }
+  | Undeclared_deny ->
+      if chosen = [] then base
+      else
+        {
+          base with
+          a_os_b =
+            Option.map
+              (fun s -> Eel_os.Spec.with_policy s Toolbox.sfi_policy)
+              t.i_os;
+        }
+  | Mask_sys ->
+      let c =
+        List.fold_left
+          (fun c i -> Contract.claim_sys c (List.nth t.i_sys_nums i))
+          contract chosen
+      in
+      { base with a_contract = c }
   | Count_skew ->
       let targets = take max_sites t.i_ap.Toolbox.ap_targets in
       let pokes =
@@ -269,12 +403,14 @@ let arm (t : inst) cls idxs : armed =
       in
       { base with a_pokes = pokes }
   | Forget_region ->
-      (* descending index order, so earlier removals don't shift later *)
+      (* menu indices name live regions; map back to contract indices,
+         descending, so earlier removals don't shift later ones *)
+      let region_idxs = List.map (List.nth t.i_live_regions) chosen in
       let c =
         List.fold_left
           (fun c i -> Contract.forget_region c i)
           contract
-          (List.sort (fun a b -> compare b a) chosen)
+          (List.sort (fun a b -> compare b a) region_idxs)
       in
       { base with a_contract = c }
   | Mask_store ->
@@ -320,7 +456,8 @@ let attempt ~fuel (t : inst) (a : armed) : attempt =
       `R
         (Diffexec.verify_edit ~fuel ~norm_b:t.i_ap.Toolbox.ap_norm_b
            ~block_of:t.i_ap.Toolbox.ap_block_of ~pokes_b:a.a_pokes
-           ~contract:a.a_contract t.i_orig a.a_edited)
+           ?os:t.i_os ?os_b:a.a_os_b ~contract:a.a_contract t.i_orig
+           a.a_edited)
     with
     | Stack_overflow -> `Crash "Stack_overflow"
     | exn -> `Crash (Printexc.to_string exn)
@@ -446,14 +583,23 @@ let spec_of_json (j : Json.t) : (spec, string) result =
       else Ok { sp_tool = tool; sp_prog = prog; sp_class = cls; sp_sites = sites }
   | _ -> Error "reproducer is missing tool/program/class"
 
+(* resolve a program name across both corpora, with its OS world *)
+let lookup_prog prog : (Sef.t * Eel_os.Spec.t option) option =
+  match List.assoc_opt prog (Corpus.all ()) with
+  | Some exe -> Some (exe, None)
+  | None ->
+      List.find_map
+        (fun (n, exe, spec) -> if n = prog then Some (exe, Some spec) else None)
+        (Corpus.all_os ())
+
 (** [replay ~fuel s] deterministically rebuilds a reproducer and re-runs
     the oracle; returns the fresh attempt (flagged = reproduced) plus the
     trial description. *)
 let replay ~fuel (s : spec) : (attempt * string, string) result =
-  match List.assoc_opt s.sp_prog (Corpus.all ()) with
+  match lookup_prog s.sp_prog with
   | None -> Error (Printf.sprintf "unknown corpus program %s" s.sp_prog)
-  | Some exe -> (
-      match instrument ~fuel s.sp_tool (s.sp_prog, exe) with
+  | Some (exe, os) -> (
+      match instrument ~fuel ?os s.sp_tool (s.sp_prog, exe) with
       | Error m -> Error m
       | Ok t ->
           let a = arm t s.sp_class s.sp_sites in
@@ -473,17 +619,27 @@ type cell = {
 }
 
 (* the canonical matrix program: recursion, branches, stores, two trap
-   numbers — every fault class has live sites on it *)
+   numbers — every non-OS fault class has live sites on it *)
 let matrix_prog = "fib"
+
+(* the OS matrix program: open/read/write/close over a real file, with
+   writes the deny policy refuses — every OS-surface class has live sites *)
+let os_matrix_prog = "os-copy"
 
 let instrument_all ~fuel tools =
   let progs = Corpus.all () in
   let exe = List.assoc matrix_prog progs in
-  List.filter_map
+  let os_exe, os_spec =
+    match lookup_prog os_matrix_prog with
+    | Some (exe, Some spec) -> (exe, spec)
+    | _ -> failwith ("missing os corpus program " ^ os_matrix_prog)
+  in
+  List.concat_map
     (fun tool ->
-      match instrument ~fuel tool (matrix_prog, exe) with
-      | Ok t -> Some (tool, Ok t)
-      | Error m -> Some (tool, Error m))
+      [
+        (tool, instrument ~fuel tool (matrix_prog, exe));
+        (tool, instrument ~fuel ~os:os_spec tool (os_matrix_prog, os_exe));
+      ])
     tools
 
 (** [matrix ~fuel insts] — for every tool and every applicable fault
@@ -555,29 +711,37 @@ let matrix ~fuel (insts : (string * (inst, string) result) list) : cell list =
 let hunt ~fuel ~budget (insts : (string * (inst, string) result) list) :
     repro list * int * int * int =
   let good =
-    List.filter_map
-      (fun (tool, it) -> match it with Ok t -> Some (tool, t) | Error _ -> None)
-      insts
+    Array.of_list
+      (List.filter_map
+         (fun (tool, it) ->
+           match it with Ok t -> Some (tool, t) | Error _ -> None)
+         insts)
   in
+  (* arms are (inst index, class): a tool appears once per instrumented
+     program (fib and the OS matrix program), so the index — not the tool
+     name — addresses the instrumentation *)
   let arms =
     List.concat_map
-      (fun (tool, t) ->
+      (fun gi ->
+        let _, t = good.(gi) in
         List.filter_map
-          (fun cls -> if sites t cls = [] then None else Some (tool, cls))
+          (fun cls -> if sites t cls = [] then None else Some (gi, cls))
           all_classes)
-      good
+      (List.init (Array.length good) Fun.id)
   in
   if arms = [] || budget <= 0 then ([], 0, 0, 0)
   else begin
     let sched =
       Sched.make ~prefix:"eel.inject.cover"
-        ~label:(fun (tool, cls) -> tool ^ ":" ^ class_name cls)
+        ~label:(fun (gi, cls) ->
+          let tool, t = good.(gi) in
+          Printf.sprintf "%s:%s:%s" tool t.i_prog (class_name cls))
         (Array.of_list arms)
     in
     let repros = ref [] and crashes = ref 0 in
     for _ = 1 to budget do
-      let (tool, cls) as a = Sched.next sched in
-      let t = List.assoc tool good in
+      let (gi, cls) as a = Sched.next sched in
+      let tool, t = good.(gi) in
       let menu = sites t cls in
       let site = Sched.attempts_of sched a mod List.length menu in
       let armed = arm t cls [ site ] in
@@ -602,10 +766,14 @@ let hunt ~fuel ~budget (insts : (string * (inst, string) result) list) :
   end
 
 (** [clean_sweep ~fuel tools] — the false-positive gate: every tool over
-    every corpus program, {e unmodified}, must verify without a divergence
-    or violation. Returns (trials, false violations, crashes). *)
+    every corpus program (base and OS-mode), {e unmodified}, must verify
+    without a divergence or violation. OS-mode trials go through
+    {!Toolbox.measure} so SFI gets its interposition world and declared
+    suppression, exactly as the drivers run it. Returns (trials, false
+    violations, crashes). *)
 let clean_sweep ~fuel tools : int * int * int =
   let progs = Corpus.all () in
+  let os_progs = Corpus.all_os () in
   let total = ref 0 and bad = ref 0 and crashes = ref 0 in
   List.iter
     (fun tool ->
@@ -642,7 +810,20 @@ let clean_sweep ~fuel tools : int * int * int =
                   then (
                     ignore prog;
                     incr bad)))
-        progs)
+        progs;
+      List.iter
+        (fun (prog, exe, spec) ->
+          incr total;
+          match
+            try `R (Toolbox.measure ~fuel ~os:spec ~prog tool mach exe)
+            with exn -> `Crash (Printexc.to_string exn)
+          with
+          | `Crash _ -> incr crashes
+          | `R (Error _) -> incr bad
+          | `R (Ok ms) ->
+              if ms.Toolbox.ms_entry.Eel_obs.Ledger.le_verdict <> "equivalent"
+              then incr bad)
+        os_progs)
     tools;
   (!total, !bad, !crashes)
 

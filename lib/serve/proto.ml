@@ -12,11 +12,15 @@
     v}
 
     - [tool] (required): one of {!Eel_tools.Toolbox.names}.
-    - exactly one source: [corpus] (a {!Eel_diffexec.Corpus} program name),
-      [gen] (a deterministic {!Eel_workload.Gen} workload), [file] (a SEF
-      path resolved in the daemon's cwd), or [sef_hex] (a hex-encoded SEF
-      image inline — the pipe-friendly way to ship an executable that
-      exists nowhere on disk).
+    - exactly one source: [corpus] (a {!Eel_diffexec.Corpus} program name,
+      including the OS-mode [os-*] programs), [gen] (a deterministic
+      {!Eel_workload.Gen} workload; style ["os"] selects the I/O-bound
+      OS-mode generator), [file] (a SEF path resolved in the daemon's
+      cwd), or [sef_hex] (a hex-encoded SEF image inline — the
+      pipe-friendly way to ship an executable that exists nowhere on
+      disk). OS-mode sources carry their {!Eel_os.Spec} world implicitly:
+      the corpus entry (or generator seed) determines it, and its digest
+      participates in the result-cache key.
     - [id] (optional): echoed in the response; defaults to ["job-<n>"].
     - [fuel], [sfi_base], [sfi_size] (optional): forwarded to
       {!Eel_tools.Toolbox.measure}.
@@ -133,8 +137,10 @@ let src_of_json j : (src, string) result =
       let* routines = num_field g "routines" in
       let* style = str_field g "style" in
       let style = Option.value style ~default:"gcc" in
-      if style <> "gcc" && style <> "sunpro" then
-        Error (Printf.sprintf "gen.style %S: expected \"gcc\" or \"sunpro\"" style)
+      if style <> "gcc" && style <> "sunpro" && style <> "os" then
+        Error
+          (Printf.sprintf
+             "gen.style %S: expected \"gcc\", \"sunpro\" or \"os\"" style)
       else
         Ok
           (S_gen

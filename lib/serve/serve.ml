@@ -25,6 +25,7 @@ module Ledger = Eel_obs.Ledger
 module Metrics = Eel_obs.Metrics
 module Trace = Eel_obs.Trace
 module B = Eel_util.Bytebuf
+module Os_spec = Eel_os.Spec
 
 type config = {
   c_cache : Cache.t;
@@ -62,15 +63,36 @@ let serve_metric what = Metrics.incr (Metrics.counter ("eel.serve." ^ what))
 
 (* ---- job resolution ---- *)
 
-let resolve (j : Proto.job) : (Sef.t, string) Stdlib.result =
+(** [resolve j] — the job's executable plus, for OS-mode sources, the
+    {!Os_spec} world it runs against. OS-ness is derived from the source
+    itself (an [os-*] corpus entry, or gen style ["os"]): the job carries
+    no separate world field, so a job line alone fully determines the
+    run. *)
+let resolve (j : Proto.job) :
+    (Sef.t * Os_spec.t option, string) Stdlib.result =
   match j.Proto.j_src with
   | Proto.S_corpus name -> (
-      match List.assoc_opt name Corpus.sources with
-      | None -> Error (Printf.sprintf "unknown corpus program %S" name)
-      | Some src -> (
+      match
+        ( List.assoc_opt name Corpus.sources,
+          List.assoc_opt name Corpus.os_sources )
+      with
+      | Some src, _ -> (
           match Eel_sparc.Asm.assemble src with
-          | Ok exe -> Ok exe
-          | Error m -> Error (Printf.sprintf "corpus %s: %s" name m)))
+          | Ok exe -> Ok (exe, None)
+          | Error m -> Error (Printf.sprintf "corpus %s: %s" name m))
+      | None, Some (src, spec) -> (
+          match Eel_sparc.Asm.assemble src with
+          | Ok exe -> Ok (exe, Some spec)
+          | Error m -> Error (Printf.sprintf "os corpus %s: %s" name m))
+      | None, None -> Error (Printf.sprintf "unknown corpus program %S" name))
+  | Proto.S_gen { seed; routines; style } when style = "os" -> (
+      ignore routines;
+      let src, world =
+        Eel_workload.Gen.os_program { Eel_workload.Gen.default with seed }
+      in
+      match Eel_sparc.Asm.assemble src with
+      | Ok exe -> Ok (exe, Some (Corpus.spec_of_world world))
+      | Error m -> Error (Printf.sprintf "os gen workload: %s" m))
   | Proto.S_gen { seed; routines; style } -> (
       let style =
         if style = "sunpro" then Eel_workload.Gen.Sunpro else Eel_workload.Gen.Gcc
@@ -80,27 +102,28 @@ let resolve (j : Proto.job) : (Sef.t, string) Stdlib.result =
           { Eel_workload.Gen.default with seed; routines; style }
       in
       match Eel_sparc.Asm.assemble src with
-      | Ok exe -> Ok exe
+      | Ok exe -> Ok (exe, None)
       | Error m -> Error (Printf.sprintf "gen workload: %s" m))
   | Proto.S_file path -> (
       match Sef.load_file path with
-      | Ok exe -> Ok exe
+      | Ok exe -> Ok (exe, None)
       | Error e -> Error (Eel_robust.Diag.error_message e))
   | Proto.S_inline raw -> (
       match Sef.load raw with
-      | Ok exe -> Ok exe
+      | Ok exe -> Ok (exe, None)
       | Error e -> Error (Eel_robust.Diag.error_message e))
 
 (* ---- whole-job result cache ---- *)
 
 let result_ns = "job"
-let result_magic = "EELJ1"
+let result_magic = "EELJ2"
 
 (** The result key covers everything that can change the served bytes: the
-    artifact version, the tool, every measure parameter, and the entire
-    input image ([Sef.to_string] is canonical, so equal images digest
-    equal). *)
-let job_key (cfg : config) (j : Proto.job) (image : string) =
+    artifact version, the tool, every measure parameter, the OS world's
+    digest (files, stdin and policy all shift the syscall stream), and the
+    entire input image ([Sef.to_string] is canonical, so equal images
+    digest equal). *)
+let job_key (cfg : config) (j : Proto.job) ?os (image : string) =
   let buf = Buffer.create (String.length image + 64) in
   Buffer.add_string buf result_magic;
   Buffer.add_string buf Eel.Executable.analysis_version;
@@ -108,6 +131,7 @@ let job_key (cfg : config) (j : Proto.job) (image : string) =
   B.w32 buf (Option.value j.Proto.j_fuel ~default:cfg.c_fuel);
   B.w32 buf (Option.value j.Proto.j_sfi_base ~default:(-1));
   B.w32 buf (Option.value j.Proto.j_sfi_size ~default:(-1));
+  B.wstr buf (match os with None -> "" | Some spec -> Os_spec.digest spec);
   Buffer.add_string buf image;
   Digest.to_hex (Digest.string (Buffer.contents buf))
 
@@ -127,6 +151,7 @@ let encode_outcome (o : outcome) =
   B.w32 buf e.Ledger.le_mem_edited;
   B.w32 buf e.Ledger.le_stores_masked;
   B.w32 buf e.Ledger.le_traps_masked;
+  B.w32 buf e.Ledger.le_sys_masked;
   B.w32 buf e.Ledger.le_unexplained;
   B.w32 buf (String.length o.o_edited);
   Buffer.add_string buf o.o_edited;
@@ -150,6 +175,7 @@ let decode_outcome ~tool ~prog (s : string) : outcome option =
       let le_mem_edited = B.r32 r in
       let le_stores_masked = B.r32 r in
       let le_traps_masked = B.r32 r in
+      let le_sys_masked = B.r32 r in
       let le_unexplained = B.r32 r in
       let n = B.r32 r in
       let edited = Bytes.to_string (B.rbytes r n) in
@@ -174,6 +200,7 @@ let decode_outcome ~tool ~prog (s : string) : outcome option =
               le_mem_edited;
               le_stores_masked;
               le_traps_masked;
+              le_sys_masked;
               le_unexplained;
             };
         }
@@ -194,9 +221,11 @@ let run_job (cfg : config) (j : Proto.job) : result =
         | Error m ->
             serve_metric "resolve_errors";
             Error m
-        | Ok exe -> (
+        | Ok (exe, os) -> (
             let image = Sef.to_string exe in
-            let key = if cfg.c_use_result then Some (job_key cfg j image) else None in
+            let key =
+              if cfg.c_use_result then Some (job_key cfg j ?os image) else None
+            in
             let cached =
               match key with
               | None -> None
@@ -216,7 +245,7 @@ let run_job (cfg : config) (j : Proto.job) : result =
                 let fuel = Option.value j.Proto.j_fuel ~default:cfg.c_fuel in
                 match
                   Toolbox.measure ~fuel ?sfi_base:j.Proto.j_sfi_base
-                    ?sfi_size:j.Proto.j_sfi_size ~prog j.Proto.j_tool
+                    ?sfi_size:j.Proto.j_sfi_size ?os ~prog j.Proto.j_tool
                     Eel_sparc.Mach.mach exe
                 with
                 | Error e ->
@@ -255,10 +284,11 @@ let run_batch ?jobs (cfg : config) (batch : Proto.job list) : result list =
 (* ---- the standard mixed corpus ---- *)
 
 (** The deterministic mixed job corpus ([eel_batch] and the serve bench
-    experiment share it): every corpus program plus a spread of generated
-    workloads (both compiler styles, varying sizes), crossed with all 6
-    tools by a stride coprime to the source count so neighbouring jobs
-    differ in both tool and program. Fully determined by [(count, seed)]. *)
+    experiment share it): every corpus program (base and OS-mode) plus a
+    spread of generated workloads (both compiler styles and the OS
+    generator, varying sizes), crossed with all 6 tools by a stride
+    coprime to the source count so neighbouring jobs differ in both tool
+    and program. Fully determined by [(count, seed)]. *)
 let mixed_jobs ~count ~seed =
   let gen_variants =
     List.init 9 (fun g ->
@@ -269,8 +299,14 @@ let mixed_jobs ~count ~seed =
             style = (if g mod 2 = 0 then "gcc" else "sunpro");
           })
   in
+  let os_gen_variants =
+    List.init 3 (fun g ->
+        Proto.S_gen { seed = seed + (5 * g); routines = 0; style = "os" })
+  in
   let sources =
-    List.map (fun (name, _) -> Proto.S_corpus name) Corpus.sources @ gen_variants
+    List.map (fun (name, _) -> Proto.S_corpus name) Corpus.sources
+    @ List.map (fun (name, _) -> Proto.S_corpus name) Corpus.os_sources
+    @ gen_variants @ os_gen_variants
   in
   let sources = Array.of_list sources in
   let n_src = Array.length sources in

@@ -123,6 +123,8 @@ module Diffexec = Eel_diffexec.Diffexec
 module Emu = Eel_emu.Emu
 module Ledger = Eel_obs.Ledger
 module Sef = Eel_sef.Sef
+module Os_spec = Eel_os.Spec
+module Policy = Eel_os.Policy
 
 type measured = {
   ms_applied : applied;
@@ -167,8 +169,34 @@ let ledger_entry ~prog (ap : applied) (er : Diffexec.edit_report) orig =
     le_mem_edited = stat Emu.mem_ops pe;
     le_stores_masked = er.Diffexec.er_masked_stores;
     le_traps_masked = er.Diffexec.er_masked_traps;
+    le_sys_masked = er.Diffexec.er_masked_sys;
     le_unexplained = unexplained;
   }
+
+(** {1 OS-mode verification} *)
+
+(** SFI's syscall interposition table: writes may only reach the standard
+    streams; a [write] to any other descriptor is a protection fault
+    ([EPERM]), exactly as its store clamp confines addresses to the
+    sandbox segment. *)
+let sfi_policy = Policy.Deny_write_fd_above 2
+
+(** [os_interpose ap spec] — the OS world each side of the verification
+    runs against. Every tool's edited image runs in the same world as the
+    original, except SFI: its edited side runs under {!sfi_policy}, and its
+    contract declares the suppression so the oracle masks exactly the
+    denials the policy makes — an undeclared denial stays a
+    contract-violation verdict. *)
+let os_interpose (ap : applied) spec =
+  if ap.ap_tool <> "sfi" then (ap, spec)
+  else
+    let contract =
+      {
+        ap.ap_contract with
+        Contract.ct_sys_suppress = Some (Policy.denies sfi_policy);
+      }
+    in
+    ({ ap with ap_contract = contract }, Os_spec.with_policy spec sfi_policy)
 
 (** [measure ~prog name mach exe] is {!apply} + {!Diffexec.verify_edit}
     with both sides profiled, folded into an overhead-ledger entry recorded
@@ -176,8 +204,8 @@ let ledger_entry ~prog (ap : applied) (er : Diffexec.edit_report) orig =
     paper's overhead tables: eel_report, eel_diff --tool, and the bench
     equiv sweep all come through here, so the ledger is populated (and
     merged at pool joins) no matter which driver ran. *)
-let measure ?fuel ?limit ?sfi_base ?sfi_size ?pokes_b ~prog name mach exe :
-    (measured, Diag.error) result =
+let measure ?fuel ?limit ?sfi_base ?sfi_size ?pokes_b ?os ~prog name mach exe
+    : (measured, Diag.error) result =
   match
     Diag.guard (fun () ->
         match apply ?sfi_base ?sfi_size name mach exe with
@@ -186,8 +214,15 @@ let measure ?fuel ?limit ?sfi_base ?sfi_size ?pokes_b ~prog name mach exe :
   with
   | Error e -> Error e
   | Ok ap -> (
+      let ap, os_b =
+        match os with
+        | None -> (ap, None)
+        | Some spec ->
+            let ap, spec_b = os_interpose ap spec in
+            (ap, Some spec_b)
+      in
       match
-        Diffexec.verify_edit ?fuel ?limit ?pokes_b ~profiles:true
+        Diffexec.verify_edit ?fuel ?limit ?pokes_b ~profiles:true ?os ?os_b
           ~norm_b:ap.ap_norm_b ~block_of:ap.ap_block_of
           ~contract:ap.ap_contract exe ap.ap_edited
       with

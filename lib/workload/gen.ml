@@ -414,3 +414,201 @@ let assemble_program cfg =
   match Eel_sparc.Asm.assemble (program cfg) with
   | Ok exe -> exe
   | Error m -> failwith ("workload generation produced bad assembly: " ^ m)
+
+(** {1 OS-mode workloads}
+
+    I/O-bound programs for the OS layer: byte filters, file-copy loops and
+    config-reading dispatchers driven by [read]/[write]/[open]/[close]
+    syscalls instead of arithmetic. The generator stays free of lib/os —
+    an {!os_world} is plain data, and drivers build an [Eel_os.Spec.t]
+    from it — so lib/workload keeps its dependency footprint.
+
+    Determinism contract: {!os_program} is a pure function of [cfg.seed]
+    (one private [Random.State], no ambient state), so the same seed
+    yields byte-identical assembly and world at any [EEL_JOBS]. *)
+
+type os_world = {
+  ow_files : (string * string) list;  (** initial file-system snapshot *)
+  ow_stdin : string;
+}
+
+(* OS trap immediates, kept literal so lib/workload does not depend on
+   lib/os: trap base 16 + the Unix-v4 numbers (Eel_os.Abi is the one
+   authoritative table; test_os pins these mirrors against it) *)
+let ta_exit = 17
+let ta_read = 19
+let ta_write = 20
+let ta_open = 21
+let ta_close = 22
+
+let os_alphabet =
+  "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 .\n"
+
+let rand_text rng n =
+  String.init n (fun _ ->
+      os_alphabet.[Random.State.int rng (String.length os_alphabet)])
+
+(** [os_program cfg] — one I/O-bound program and the OS world it expects,
+    shaped by the seed: an upcasing stdin filter, a stdin byte counter, a
+    file-copy loop, or a config-file dispatcher. Every shape branches only
+    on [read] results and standard-stream state, never on [write] results
+    or file-write success — so the same program stays event-equivalent
+    under a write-denying interposition policy (the SFI OS story). *)
+let os_program (cfg : config) : string * os_world =
+  let rng = Random.State.make [| cfg.seed; 0x0e5 |] in
+  let b = Buffer.create 4096 in
+  let line fmt =
+    Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt
+  in
+  let chunk = 4 + Random.State.int rng 13 in
+  let stdin = rand_text rng (24 + Random.State.int rng 49) in
+  let shape = Random.State.int rng 4 in
+  line "        .text";
+  line "        .global main";
+  line "main:";
+  let world =
+    match shape with
+    | 0 ->
+        (* upcase filter: read stdin in chunks, uppercase a-z in place,
+           write each chunk to stdout *)
+        line "Lrd:    mov 0, %%o0";
+        line "        set buf, %%o1";
+        line "        mov %d, %%o2" chunk;
+        line "        ta %d" ta_read;
+        line "        cmp %%o0, 0";
+        line "        be Lfin";
+        line "        nop";
+        line "        mov %%o0, %%l4";
+        line "        mov 0, %%l0";
+        line "        set buf, %%l1";
+        line "Lbyte:  ldub [%%l1 + %%l0], %%l2";
+        line "        cmp %%l2, 97";
+        line "        bl Lskip";
+        line "        nop";
+        line "        cmp %%l2, 122";
+        line "        bg Lskip";
+        line "        nop";
+        line "        sub %%l2, 32, %%l2";
+        line "        stb %%l2, [%%l1 + %%l0]";
+        line "Lskip:  add %%l0, 1, %%l0";
+        line "        cmp %%l0, %%l4";
+        line "        bl Lbyte";
+        line "        nop";
+        line "        mov 1, %%o0";
+        line "        set buf, %%o1";
+        line "        mov %%l4, %%o2";
+        line "        ta %d" ta_write;
+        line "        ba Lrd";
+        line "        nop";
+        line "Lfin:";
+        { ow_files = []; ow_stdin = stdin }
+    | 1 ->
+        (* byte counter: total stdin length through the builtin putint
+           trap (mixing OS and builtin trap surfaces on purpose) *)
+        line "        mov 0, %%l5";
+        line "Lrd:    mov 0, %%o0";
+        line "        set buf, %%o1";
+        line "        mov %d, %%o2" chunk;
+        line "        ta %d" ta_read;
+        line "        cmp %%o0, 0";
+        line "        be Lfin";
+        line "        nop";
+        line "        ba Lrd";
+        line "        add %%l5, %%o0, %%l5";
+        line "Lfin:   mov %%l5, %%o0";
+        line "        ta 2";
+        { ow_files = []; ow_stdin = stdin }
+    | 2 ->
+        (* file copy: in.dat -> out.dat; write results deliberately
+           unused, so a denied write changes no later control flow *)
+        let contents = rand_text rng (20 + Random.State.int rng 61) in
+        line "        set inpath, %%o0";
+        line "        mov 0, %%o1";
+        line "        ta %d" ta_open;
+        line "        bcs Lbad";
+        line "        nop";
+        line "        mov %%o0, %%l6";
+        line "        set outpath, %%o0";
+        line "        mov 1, %%o1";
+        line "        ta %d" ta_open;
+        line "        bcs Lbad";
+        line "        nop";
+        line "        mov %%o0, %%l7";
+        line "Lcp:    mov %%l6, %%o0";
+        line "        set buf, %%o1";
+        line "        mov %d, %%o2" chunk;
+        line "        ta %d" ta_read;
+        line "        cmp %%o0, 0";
+        line "        be Lcls";
+        line "        nop";
+        line "        mov %%o0, %%o2";
+        line "        mov %%l7, %%o0";
+        line "        set buf, %%o1";
+        line "        ta %d" ta_write;
+        line "        ba Lcp";
+        line "        nop";
+        line "Lcls:   mov %%l6, %%o0";
+        line "        ta %d" ta_close;
+        line "        mov %%l7, %%o0";
+        line "        ta %d" ta_close;
+        { ow_files = [ ("in.dat", contents) ]; ow_stdin = "" }
+    | _ ->
+        (* config dispatcher: first byte of the config file picks the
+           branch; each branch prints a distinct seeded constant *)
+        let mode = [| 'a'; 'b'; 'c' |].(Random.State.int rng 3) in
+        let tail = rand_text rng (6 + Random.State.int rng 20) in
+        let v = Array.init 3 (fun _ -> 10 + Random.State.int rng 240) in
+        line "        set cfgpath, %%o0";
+        line "        mov 0, %%o1";
+        line "        ta %d" ta_open;
+        line "        bcs Lbad";
+        line "        nop";
+        line "        mov %%o0, %%l6";
+        line "        mov %%l6, %%o0";
+        line "        set buf, %%o1";
+        line "        mov 1, %%o2";
+        line "        ta %d" ta_read;
+        line "        cmp %%o0, 1";
+        line "        bl Lbad";
+        line "        nop";
+        line "        mov %%l6, %%o0";
+        line "        ta %d" ta_close;
+        line "        set buf, %%l1";
+        line "        ldub [%%l1], %%l2";
+        line "        cmp %%l2, 97";
+        line "        be La";
+        line "        nop";
+        line "        cmp %%l2, 98";
+        line "        be Lb";
+        line "        nop";
+        line "        mov %d, %%o0" v.(2);
+        line "        ba Lout";
+        line "        nop";
+        line "La:     mov %d, %%o0" v.(0);
+        line "        ba Lout";
+        line "        nop";
+        line "Lb:     mov %d, %%o0" v.(1);
+        line "Lout:   ta 2";
+        {
+          ow_files = [ ("app.cfg", Printf.sprintf "%c%s" mode tail) ];
+          ow_stdin = "";
+        }
+  in
+  line "        mov 0, %%o0";
+  line "        ta %d" ta_exit;
+  line "        nop";
+  line "Lbad:   mov 1, %%o0";
+  line "        ta %d" ta_exit;
+  line "        nop";
+  line "        .bss";
+  line "        .align 4";
+  line "buf:    .space %d" chunk;
+  (match world.ow_files with
+  | [] -> ()
+  | _ ->
+      line "        .data";
+      if shape = 2 then (
+        line "inpath: .asciz \"in.dat\"";
+        line "outpath: .asciz \"out.dat\"")
+      else line "cfgpath: .asciz \"app.cfg\"");
+  (Buffer.contents b, world)

@@ -388,6 +388,7 @@ let sample_entry =
     le_mem_edited = 14;
     le_stores_masked = 4;
     le_traps_masked = 1;
+    le_sys_masked = 0;
     le_unexplained = 0;
   }
 

@@ -455,7 +455,7 @@ let test_result_cache_robustness () =
     }
   in
   let exe =
-    match Serve.resolve job with Ok e -> e | Error m -> failwith m
+    match Serve.resolve job with Ok (e, _) -> e | Error m -> failwith m
   in
   let key = Serve.job_key cfg job (Sef.to_string exe) in
   Cache.put cache ~ns:"job" key "corrupt garbage";
