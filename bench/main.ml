@@ -534,19 +534,25 @@ let perf_path =
    gate (bench/regress.exe) so both read the same workload the same way. *)
 let perf () =
   print_endline
-    "=== perf: predecoded execution + multicore verification fan-out ===";
+    "=== perf: tiered execution + multicore verification fan-out ===";
   let smoke = Perf_common.smoke () in
   let th = Perf_common.measure_throughput ~smoke () in
   let speedup = Perf_common.speedup th in
+  let speedup_block = Perf_common.speedup_block th in
   Printf.printf "workload: %d dynamic instructions (best of %d, %d warmup)\n"
     th.Perf_common.th_insns th.Perf_common.th_samples th.Perf_common.th_warmup;
-  Printf.printf "predecode ON:  %8.1f MIPS  (%.4f s)\n"
-    (Perf_common.mips th th.Perf_common.th_on)
-    th.Perf_common.th_on;
-  Printf.printf "predecode OFF: %8.1f MIPS  (%.4f s)\n"
+  Printf.printf "tier interp:    %8.1f MIPS  (%.4f s)\n"
     (Perf_common.mips th th.Perf_common.th_off)
     th.Perf_common.th_off;
-  Printf.printf "throughput speedup: %.2fx\n" speedup;
+  Printf.printf "tier predecode: %8.1f MIPS  (%.4f s)\n"
+    (Perf_common.mips th th.Perf_common.th_on)
+    th.Perf_common.th_on;
+  Printf.printf "tier block:     %8.1f MIPS  (%.4f s)\n"
+    (Perf_common.mips th th.Perf_common.th_block)
+    th.Perf_common.th_block;
+  Printf.printf "throughput speedup: %.2fx predecode/interp, %.2fx \
+                 block/predecode\n"
+    speedup speedup_block;
   Printf.printf "load time: %.4f s predecoded vs %.4f s plain\n"
     th.Perf_common.th_load_on th.Perf_common.th_load_off;
   let sc = Perf_common.measure_scaling ~smoke () in
@@ -570,6 +576,12 @@ let perf () =
       "perf-smoke FAILED: predecoded path slower than decode-per-step \
        (%.2fx)\n"
       speedup;
+    exit 1);
+  if smoke && speedup_block < 1.0 then (
+    Printf.eprintf
+      "perf-smoke FAILED: tier-2 block engine slower than predecoded \
+       dispatch (%.2fx)\n"
+      speedup_block;
     exit 1)
 
 (* ---------------------------------------------------------------- *)

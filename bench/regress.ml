@@ -6,8 +6,11 @@
 
    Checks:
      - absolute: the predecoded path must not be slower than
-       decode-per-step (speedup >= 1.0) — same invariant as perf-smoke;
-     - relative: fresh predecode speedup >= baseline speedup * (1 - TOL)
+       decode-per-step (speedup >= 1.0) — same invariant as perf-smoke —
+       and the tier-2 block engine must not be slower than the predecoded
+       dispatch loop (speedup_block >= 1.0);
+     - relative: fresh predecode speedup >= baseline speedup * (1 - TOL),
+       and likewise for the tier-2 speedup when the baseline has one
        (TOL defaults to 0.12; a seeded >=20% throughput regression — see
        EEL_PERF_HANDICAP in Perf_common — must fail);
      - informational: absolute MIPS is machine-dependent, so a large drop
@@ -42,6 +45,8 @@ type base_point = { bp_jobs : int; bp_speedup : float; bp_contended : bool }
 type baseline = {
   b_cores : int;
   b_speedup : float;
+  b_speedup_block : float option;
+      (** tier-2 vs predecode; None in pre-tier-2 baselines *)
   b_mips_on : float;
   b_points : base_point list;
 }
@@ -87,6 +92,10 @@ let parse_baseline src =
       {
         b_cores = int_of_float (num "cores" (Json.member "cores" root));
         b_speedup = num "speedup" (Json.member "speedup" throughput);
+        b_speedup_block =
+          (match Json.member "speedup_block" throughput with
+          | Some (Json.Num n) -> Some n
+          | _ -> None);
         b_mips_on = num "mips" (Json.member "mips" on);
         b_points = points;
       }
@@ -107,12 +116,15 @@ let append_history ~pass ~baseline th =
   try
     let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
     Printf.fprintf oc
-      "{\"ts\": %.0f, \"speedup\": %.3f, \"mips_on\": %.2f, \"mips_off\": \
-       %.2f, \"smoke\": %b, \"baseline\": \"%s\", \"pass\": %b}\n"
+      "{\"ts\": %.0f, \"speedup\": %.3f, \"speedup_block\": %.3f, \
+       \"mips_on\": %.2f, \"mips_off\": %.2f, \"mips_block\": %.2f, \
+       \"smoke\": %b, \"baseline\": \"%s\", \"pass\": %b}\n"
       (Unix.time ())
       (Perf_common.speedup th)
+      (Perf_common.speedup_block th)
       (Perf_common.mips th th.Perf_common.th_on)
       (Perf_common.mips th th.Perf_common.th_off)
+      (Perf_common.mips th th.Perf_common.th_block)
       (Perf_common.smoke ()) baseline pass;
     close_out oc
   with Sys_error m -> Printf.eprintf "regress: history append failed: %s\n" m
@@ -186,6 +198,18 @@ let () =
     (speedup >= base.b_speedup *. (1.0 -. tol))
     (Printf.sprintf "%.2fx vs %.2fx (floor %.2fx)" speedup base.b_speedup
        (base.b_speedup *. (1.0 -. tol)));
+  let sp_block = Perf_common.speedup_block th in
+  check "tier-2 not slower than predecode" (sp_block >= 1.0)
+    (Printf.sprintf "%.2fx" sp_block);
+  (match base.b_speedup_block with
+  | None ->
+      Printf.printf "%-34s SKIP  baseline predates the block tier\n"
+        "tier-2 speedup vs baseline"
+  | Some b ->
+      check "tier-2 speedup vs baseline"
+        (sp_block >= b *. (1.0 -. tol))
+        (Printf.sprintf "%.2fx vs %.2fx (floor %.2fx)" sp_block b
+           (b *. (1.0 -. tol))));
   let mips_on = Perf_common.mips th th.Perf_common.th_on in
   if mips_on < base.b_mips_on *. 0.5 then
     Printf.printf

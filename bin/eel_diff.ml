@@ -93,6 +93,12 @@ let () =
      Printf.eprintf "eel_diff: unknown tool %s (expected one of: %s)\n" !tool
        (String.concat ", " Toolbox.names);
      exit 2));
+  (* mirror the EEL_JOBS notice: armed per-instruction instrumentation
+     silently drops the run to tier-1, which is worth a line on stderr *)
+  (if !tool <> "" then
+     Printf.eprintf
+       "eel_diff: --tool arms the ground-truth profile (tier-2 block engine \
+        off for profiled runs)\n");
   if !reproduce <> "" then (
     (* replay a reproducer artifact: rebuild the exact (tool, program,
        fault class, sites) trial deterministically and demand the oracle

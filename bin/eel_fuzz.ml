@@ -195,6 +195,17 @@ let () =
     "eel_fuzz: assert the front end never crashes on mutated executables";
   let tracer = if !trace_file <> "" then Some (Trace.create ()) else None in
   Trace.set_current tracer;
+  (* mirror the EEL_JOBS notice: these modes arm per-instruction
+     instrumentation (ground-truth profiles, poke plans), which silently
+     drops the affected runs to tier-1 *)
+  (if !tool <> "" then
+     Printf.eprintf
+       "eel_fuzz: --tool arms the ground-truth profile (tier-2 block engine \
+        off for profiled runs)\n");
+  (if !inject then
+     Printf.eprintf
+       "eel_fuzz: --inject arms profiles and poke plans (tier-2 block \
+        engine off for those trials)\n");
   (* metrics (and ledger/hotspot data) live in Domain.DLS and merge
      deterministically at pool joins, so --metrics is jobs-agnostic; only
      --trace pins the run to one domain (worker domains have no ambient

@@ -27,6 +27,7 @@ open Cmdliner
 module Trace = Eel_obs.Trace
 module Metrics = Eel_obs.Metrics
 module Emu = Eel_emu.Emu
+module Tier2 = Eel_emu.Tier2
 
 let parse_os_file spec =
   match String.index_opt spec '=' with
@@ -42,12 +43,47 @@ let parse_os_file spec =
       close_in ic;
       (name, data)
 
+(* Resolve the execution tier. An explicit [--tier] combined with a flag
+   that forces per-instruction interpretation is a contradiction and is
+   rejected ([Diag] error); the default tier silently degrades — with a
+   one-line stderr notice, mirroring the EEL_JOBS=1 notices — because the
+   engine itself refuses to run while a hook or profile is armed. *)
+let resolve_tier ~tier ~rtl ~itrace ~metrics ~no_predecode =
+  let forcer =
+    if rtl then Some "--rtl"
+    else if itrace then Some "--itrace"
+    else if metrics then Some "--metrics"
+    else if no_predecode then Some "--no-predecode"
+    else None
+  in
+  match (tier, forcer) with
+  | Some Tier2.Block, Some flag ->
+      Eel_robust.Diag.exe_error
+        "--tier block is incompatible with %s, which forces per-instruction \
+         interpretation; drop one of the two"
+        flag
+  | Some Tier2.Predecode, Some "--no-predecode" ->
+      Eel_robust.Diag.exe_error
+        "--tier predecode is incompatible with --no-predecode; drop one of \
+         the two"
+  | Some tr, _ -> tr
+  | None, Some "--no-predecode" -> Tier2.Interp
+  | None, Some flag ->
+      if flag <> "--rtl" then
+        Printf.eprintf
+          "eel_run: %s forces per-instruction interpretation (tier-2 block \
+           engine off)\n"
+          flag;
+      Tier2.Predecode
+  | None, None -> Tier2.Block
+
 let run path rtl itrace trace_file metrics fuel no_predecode os os_stdin
-    os_files exit_status =
+    os_files exit_status tier =
   if rtl && os then begin
     Printf.eprintf "eel_run: --os is not supported under --rtl\n";
     exit 2
   end;
+  let tier = resolve_tier ~tier ~rtl ~itrace ~metrics ~no_predecode in
   let observing = trace_file <> None || metrics in
   let tracer = if observing then Some (Trace.create ()) else None in
   Trace.set_current tracer;
@@ -62,6 +98,7 @@ let run path rtl itrace trace_file metrics fuel no_predecode os os_stdin
               ~args:[ ("error", Eel_robust.Diag.error_message e) ]);
   let profile = if metrics && not rtl then Some (Emu.create_profile ()) else None in
   let os_state = ref None in
+  let engine = ref None in
   let result =
     Trace.with_span "emulate" @@ fun () ->
     if rtl then (
@@ -81,8 +118,9 @@ let run path rtl itrace trace_file metrics fuel no_predecode os os_stdin
       in
       let t =
         Trace.with_span "emu.load" (fun () ->
-            Emu.load ~predecode:(not no_predecode) exe)
+            Emu.load ~predecode:(tier <> Tier2.Interp) exe)
       in
+      if tier = Tier2.Block then engine := Tier2.attach t;
       t.Emu.hook <- hook;
       t.Emu.profile <- profile;
       if os then begin
@@ -98,6 +136,9 @@ let run path rtl itrace trace_file metrics fuel no_predecode os os_stdin
   print_string result.Emu.out;
   Printf.eprintf "[exit=%d insns=%d loads=%d stores=%d]\n" result.Emu.exit_code
     result.Emu.insns result.Emu.loads result.Emu.stores;
+  (match !engine with
+  | Some st -> Printf.eprintf "[tier2: %s]\n" (Tier2.summary st)
+  | None -> ());
   (match !os_state with
   | Some st ->
       Printf.eprintf "[os: syscalls=%d denied=%d]\n" (Eel_os.Os.sys_count st)
@@ -111,10 +152,10 @@ let run path rtl itrace trace_file metrics fuel no_predecode os os_stdin
   exit (if exit_status then result.Emu.exit_code else 0)
 
 let run path rtl itrace trace_file metrics fuel no_predecode os os_stdin
-    os_files exit_status =
+    os_files exit_status tier =
   try
     run path rtl itrace trace_file metrics fuel no_predecode os os_stdin
-      os_files exit_status
+      os_files exit_status tier
   with
   | Eel_robust.Diag.Error e ->
       Printf.eprintf "eel_run: %s\n" (Eel_robust.Diag.error_message e);
@@ -176,10 +217,25 @@ let cmd =
       & info [ "exit-status" ]
           ~doc:"exit with the guest program's exit code instead of 0")
   in
+  let tier =
+    let tiers =
+      List.map (fun tr -> (Tier2.tier_name tr, tr)) Tier2.all_tiers
+    in
+    Arg.(
+      value
+      & opt (some (enum tiers)) None
+      & info [ "tier" ] ~docv:"TIER"
+          ~doc:
+            "execution tier: $(b,interp) decodes every instruction, \
+             $(b,predecode) dispatches the predecoded text one instruction \
+             at a time, $(b,block) (the default) compiles hot basic blocks. \
+             Rejected when combined with a flag that forces \
+             per-instruction interpretation.")
+  in
   Cmd.v
     (Cmd.info "eel_run" ~doc:"run a SEF executable")
     Term.(
       const run $ path $ rtl $ itrace $ trace_file $ metrics $ fuel
-      $ no_predecode $ os $ os_stdin $ os_files $ want_exit_status)
+      $ no_predecode $ os $ os_stdin $ os_files $ want_exit_status $ tier)
 
 let () = exit (Cmd.eval cmd)

@@ -40,6 +40,7 @@
     other pipeline measurement. *)
 
 module Emu = Eel_emu.Emu
+module Tier2 = Eel_emu.Tier2
 module Sef = Eel_sef.Sef
 module E = Eel.Executable
 module Diag = Eel_robust.Diag
@@ -100,15 +101,31 @@ type run = {
     deterministic environment-fault plan ({!Emu.poke}) — the injection
     campaign corrupts chosen words mid-run through it; [os] installs the
     OS layer (lib/os) with fresh per-run state built from the spec, so
-    the run's syscalls surface as {!Emu.Ob_syscall} events. *)
+    the run's syscalls surface as {!Emu.Ob_syscall} events.
+
+    [tier] selects the execution engine ({!Tier2.tier}); the default is
+    {!Tier2.Block} — the block-compiled tier is event-identical to the
+    interpreter (the test suite pins this corpus-wide) and the engine
+    itself falls back to tier-1 whenever per-instruction instrumentation
+    (a profile or a poke plan) is armed, so callers need not care.
+    [~predecode:false] without an explicit [tier] means {!Tier2.Interp}. *)
 let execute ?(fuel = default_fuel) ?limit ?headroom ?(profile = false) ?filter
-    ?predecode ?(pokes = []) ?os (exe : Sef.t) : (run, Diag.error) result =
+    ?predecode ?tier ?(pokes = []) ?os (exe : Sef.t) : (run, Diag.error) result
+    =
+  let tier =
+    match (tier, predecode) with
+    | Some tr, _ -> tr
+    | None, Some false -> Tier2.Interp
+    | None, _ -> Tier2.Block
+  in
+  let predecode = tier <> Tier2.Interp in
   match
-    try Ok (Emu.load ?headroom ?predecode exe)
+    try Ok (Emu.load ?headroom ~predecode exe)
     with Emu.Fault m -> Error (Diag.Exe_error { what = "emulator load: " ^ m })
   with
   | Error e -> Error e
   | Ok t ->
+      (if tier = Tier2.Block then ignore (Tier2.attach t));
       (match os with
       | None -> ()
       | Some spec -> ignore (Eel_os.Os.install t spec));

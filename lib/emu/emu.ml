@@ -415,6 +415,19 @@ type t = {
   code_lo : int;  (** base address of [code]; meaningless when empty *)
   mutable pokes : poke list;
       (** pending environment faults, sorted by [pk_at]; see {!set_pokes} *)
+  mutable alt_run : (int -> unit) option;
+      (** alternate execution engine (the tier-2 block compiler installs
+          itself here; see lib/emu/tier2.ml). {!run} dispatches to it with
+          the fuel budget {e only} when no per-instruction hook, no
+          profile and no poke plan is armed — those demand the
+          interpreter's per-step visibility, so an armed one silently
+          forces tier-1. The engine must leave [pc]/[npc]/[ninsns]
+          materialized whenever it raises or returns, and must raise
+          {!Fault} / {!Out_of_fuel} exactly as the interpreter would. *)
+  mutable on_invalidate : (int -> unit) option;
+      (** notified with the word-aligned address every time a store or
+          poke lands in the predecoded text range ({!invalidate_code});
+          the tier-2 code cache drops compiled blocks covering it. *)
   mutable trap_handler : (t -> int -> bool) option;
       (** optional OS layer (lib/os): consulted before the builtin [ta n]
           dispatch with the {e raw} trap number; returning [true] means the
@@ -525,6 +538,8 @@ let load ?(headroom = default_headroom) ?(predecode = true)
     code;
     code_lo = text_lo;
     pokes = [];
+    alt_run = None;
+    on_invalidate = None;
     trap_handler = None;
   }
 
@@ -587,9 +602,11 @@ let load_mem t addr width ~signed =
    re-decoding that one word keeps the predecoded array coherent. *)
 let invalidate_code t addr =
   let idx = (addr - t.code_lo) asr 2 in
-  if idx >= 0 && idx < Array.length t.code then
+  if idx >= 0 && idx < Array.length t.code then begin
     let wa = t.code_lo + (idx lsl 2) in
-    t.code.(idx) <- Insn.decode (Eel_util.Bytebuf.get32_be t.mem wa)
+    t.code.(idx) <- Insn.decode (Eel_util.Bytebuf.get32_be t.mem wa);
+    match t.on_invalidate with None -> () | Some f -> f wa
+  end
 
 let store_mem t addr width v =
   check_addr t addr width;
@@ -887,11 +904,16 @@ let run ?(fuel = 200_000_000) t =
     (* dispatch once: the per-step hook/profile matches are paid only by
        machines that actually installed one *)
     (match (t.hook, t.profile) with
-    | None, None when t.pokes = [] ->
-        while t.exited = None do
-          if t.ninsns >= fuel then raise Out_of_fuel;
-          step_plain t
-        done
+    | None, None when t.pokes = [] -> (
+        (* an attached tier-2 engine takes over only here: hooks,
+           profiles and poke plans need per-instruction interpretation *)
+        match t.alt_run with
+        | Some engine -> engine fuel
+        | None ->
+            while t.exited = None do
+              if t.ninsns >= fuel then raise Out_of_fuel;
+              step_plain t
+            done)
     | None, None ->
         (* a fault plan is pending: same fast stepper, plus the due-poke
            check; once the plan drains the check is a single comparison *)

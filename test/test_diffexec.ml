@@ -156,6 +156,44 @@ let test_predecode_self_differential () =
         (a.Dx.r_events = b.Dx.r_events))
     (Corpus.all ())
 
+(* the tier-2 block engine (ISSUE 10) under the oracle's own event sink:
+   every program of BOTH corpora — CPU-bound and OS-bound — must produce
+   a byte-identical observable run under block compilation and under
+   pure interpretation: same stop condition, same event log (order and
+   payloads), same instruction count, output and final register file.
+   This is the acceptance gate for OSR exactness: obs sinks are armed,
+   so every compiled store emits its event from inside the closure. *)
+let check_tier_self_differential name ?os exe =
+  let exec tier =
+    match Dx.execute ?os ~tier exe with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "%s: %s" name (Diag.error_message e)
+  in
+  let a = exec Eel_emu.Tier2.Block and b = exec Eel_emu.Tier2.Interp in
+  Alcotest.(check string)
+    (name ^ ": same stop")
+    (Format.asprintf "%a" Dx.pp_stop b.Dx.r_stop)
+    (Format.asprintf "%a" Dx.pp_stop a.Dx.r_stop);
+  Alcotest.(check int) (name ^ ": same total") b.Dx.r_total a.Dx.r_total;
+  Alcotest.(check bool)
+    (name ^ ": identical event log")
+    true
+    (a.Dx.r_events = b.Dx.r_events);
+  Alcotest.(check int) (name ^ ": same insns") b.Dx.r_insns a.Dx.r_insns;
+  Alcotest.(check string) (name ^ ": same output") b.Dx.r_out a.Dx.r_out;
+  Alcotest.(check (array int)) (name ^ ": same registers") b.Dx.r_regs
+    a.Dx.r_regs
+
+let test_tier2_self_differential () =
+  List.iter
+    (fun (name, exe) -> check_tier_self_differential name exe)
+    (Corpus.all ())
+
+let test_tier2_self_differential_os () =
+  List.iter
+    (fun (name, exe, spec) -> check_tier_self_differential name ~os:spec exe)
+    (Corpus.all_os ())
+
 (* ------------------------------------------------------------------ *)
 (* Seeded semantics-changing mutants                                   *)
 (* ------------------------------------------------------------------ *)
@@ -391,6 +429,10 @@ let () =
             test_identity_no_text;
           Alcotest.test_case "predecode self-differential" `Quick
             test_predecode_self_differential;
+          Alcotest.test_case "tier-2 self-differential (CPU corpus)" `Quick
+            test_tier2_self_differential;
+          Alcotest.test_case "tier-2 self-differential (OS corpus)" `Quick
+            test_tier2_self_differential_os;
         ] );
       ( "mutants",
         [

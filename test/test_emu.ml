@@ -448,23 +448,35 @@ main:   set buf, %l0
       ^ exit0 ^ "        .data\n        .align 4\nbuf:    .word 0\n");
     ]
 
-let test_predecode_selfmod_word () =
-  (* a full-word store over an instruction in the program's own text: the
-     predecoded path must re-decode the patched word before re-executing
-     it, matching decode-per-step exactly *)
-  let src =
-    Printf.sprintf
-      {|
+(* shared with the tier-2 suite below: the same self-modifying programs
+   must also invalidate compiled blocks *)
+let selfmod_word_src =
+  Printf.sprintf
+    {|
 main:   set Lpatch, %%l0
         set 0x%x, %%l1
         st %%l1, [%%l0]
 Lpatch: mov 1, %%o0
         ta 2
 |}
-      (mov_imm_o0 42)
-    ^ exit0
-  in
-  let r = check_same_both_modes src in
+    (mov_imm_o0 42)
+  ^ exit0
+
+let selfmod_byte_src =
+  {|
+main:   set Lpatch, %l0
+        mov 0x2a, %l1
+        stb %l1, [%l0 + 3]
+Lpatch: mov 1, %o0
+        ta 2
+|}
+  ^ exit0
+
+let test_predecode_selfmod_word () =
+  (* a full-word store over an instruction in the program's own text: the
+     predecoded path must re-decode the patched word before re-executing
+     it, matching decode-per-step exactly *)
+  let r = check_same_both_modes selfmod_word_src in
   Alcotest.(check string) "patched instruction executed" "42\n" r.Emu.out
 
 let test_predecode_selfmod_byte () =
@@ -473,17 +485,7 @@ let test_predecode_selfmod_byte () =
   Alcotest.(check int)
     "encodings differ only in the immediate byte" (mov_imm_o0 42)
     (mov_imm_o0 1 land lnot 0xFF lor 0x2a);
-  let src =
-    {|
-main:   set Lpatch, %l0
-        mov 0x2a, %l1
-        stb %l1, [%l0 + 3]
-Lpatch: mov 1, %o0
-        ta 2
-|}
-    ^ exit0
-  in
-  let r = check_same_both_modes src in
+  let r = check_same_both_modes selfmod_byte_src in
   Alcotest.(check string) "byte-patched instruction executed" "42\n" r.Emu.out
 
 let test_predecode_outside_text () =
@@ -524,21 +526,41 @@ let test_predecode_fault_parity () =
 (* ---- fuel boundaries and fault pokes (ISSUE 6) ----
 
    The differential oracle trusts that fuel exhaustion is observably
-   identical in both execution modes: the terminating Ob_fuel event (and
+   identical in every execution tier: the terminating Ob_fuel event (and
    everything before it) must match at EVERY cutoff, including fuel that
-   runs out between a branch and its delay slot. These tests sweep every
-   boundary of a looping program rather than spot-checking one. *)
+   runs out between a branch and its delay slot, and including cutoffs
+   that land in the middle of a tier-2 compiled block (the block-entry
+   fuel gate must keep those in the interpreter). These tests sweep
+   every boundary of a looping program rather than spot-checking one. *)
 
-let events_with_fuel ~predecode ~fuel exe =
-  let t = Emu.load ~predecode exe in
+module Tier2 = Eel_emu.Tier2
+
+let assemble_exe src =
+  match Asm.assemble src with
+  | Ok e -> e
+  | Error m -> Alcotest.failf "asm: %s" m
+
+(* threshold 1 so even a block entered twice runs compiled — the tests
+   exercise the tier-2 path without needing long warmup loops *)
+let load_tier ~tier exe =
+  let t = Emu.load ~predecode:(tier <> Tier2.Interp) exe in
+  let eng = if tier = Tier2.Block then Tier2.attach ~threshold:1 t else None in
+  (t, eng)
+
+let events_with_fuel ~tier ~fuel exe =
+  let t, _ = load_tier ~tier exe in
   let log = Emu.obs_log () in
   Emu.set_obs t (Some log);
-  (match Emu.run ~fuel t with
-  | exception Emu.Out_of_fuel -> ()
-  | exception Emu.Fault _ -> ()
-  | _ -> ());
+  let stop =
+    match Emu.run ~fuel t with
+    | r -> Printf.sprintf "exit %d" r.Emu.exit_code
+    | exception Emu.Out_of_fuel -> "fuel"
+    | exception Emu.Fault m -> "fault: " ^ m
+  in
   ( List.map (Format.asprintf "%a" Emu.pp_obs) (Emu.obs_events log),
-    Emu.insns_executed t )
+    Emu.insns_executed t,
+    Emu.registers t,
+    stop )
 
 let fuel_parity_src =
   {|
@@ -565,17 +587,25 @@ let test_fuel_boundary_parity () =
     | Error m -> Alcotest.failf "asm: %s" m
   in
   (* full length first, then every fuel cutoff 1..n+1: each prefix of the
-     event log, and the Ob_fuel terminator's pc, must be mode-independent —
-     in particular at the cutoffs that split a bne from its delay slot *)
+     event log, the Ob_fuel terminator's pc, the final register file and
+     the stop condition must be tier-independent — in particular at the
+     cutoffs that split a bne from its delay slot, and at every cutoff
+     that falls inside a compiled block's worst-case span *)
   let full = run_mode ~predecode:true fuel_parity_src in
   let n = full.Emu.insns in
   for fuel = 1 to n + 1 do
-    let ea, ia = events_with_fuel ~predecode:true ~fuel exe
-    and eb, ib = events_with_fuel ~predecode:false ~fuel exe in
-    Alcotest.(check int) (Printf.sprintf "insns at fuel %d" fuel) ib ia;
-    Alcotest.(check (list string))
-      (Printf.sprintf "events at fuel %d" fuel)
-      eb ea
+    let eb, ib, rb, sb = events_with_fuel ~tier:Tier2.Interp ~fuel exe in
+    List.iter
+      (fun tr ->
+        let chk what =
+          Printf.sprintf "%s %s at fuel %d" (Tier2.tier_name tr) what fuel
+        in
+        let ea, ia, ra, sa = events_with_fuel ~tier:tr ~fuel exe in
+        Alcotest.(check string) (chk "stop") sb sa;
+        Alcotest.(check int) (chk "insns") ib ia;
+        Alcotest.(check (list string)) (chk "events") eb ea;
+        Alcotest.(check (array int)) (chk "registers") rb ra)
+      [ Tier2.Predecode; Tier2.Block ]
   done
 
 let test_poke_mode_parity () =
@@ -637,6 +667,216 @@ let test_poke_invalid_dropped () =
   Alcotest.(check (list string)) "hostile pokes are no-ops" clean
     (run_with hostile)
 
+(* ---- tier-2: block compilation with OSR deopt (ISSUE 10) ----
+
+   [Tier2.attach] compiles hot basic blocks into chained closures; any
+   mid-block condition the closures can't handle transfers pc/npc/ninsns
+   back to the tier-1 interpreter at an instruction boundary (OSR).
+   These tests pin the contract from the outside: across all three tiers
+   the observable run — stop condition, event log, instruction count,
+   final registers, output — is identical, including through deopts at
+   every boundary of a chained block pair and under stores into compiled
+   text. *)
+
+let run_tier ~tier src =
+  let t, eng = load_tier ~tier (assemble_exe src) in
+  let log = Emu.obs_log () in
+  Emu.set_obs t (Some log);
+  let stop =
+    match Emu.run t with
+    | r -> Printf.sprintf "exit %d" r.Emu.exit_code
+    | exception Emu.Fault m -> "fault: " ^ m
+    | exception Emu.Out_of_fuel -> "fuel"
+  in
+  ( stop,
+    List.map (Format.asprintf "%a" Emu.pp_obs) (Emu.obs_events log),
+    Emu.insns_executed t,
+    Emu.registers t,
+    Emu.output t,
+    eng )
+
+(* Run [src] under all three tiers, demand an identical observable run,
+   and return the tier-2 engine's stats for structural assertions. *)
+let check_tiers_agree name src =
+  let sb, eb, ib, rb, ob, _ = run_tier ~tier:Tier2.Interp src in
+  let check tr =
+    let chk what =
+      Printf.sprintf "%s [%s] %s" name (Tier2.tier_name tr) what
+    in
+    let sa, ea, ia, ra, oa, eng = run_tier ~tier:tr src in
+    Alcotest.(check string) (chk "stop") sb sa;
+    Alcotest.(check (list string)) (chk "events") eb ea;
+    Alcotest.(check int) (chk "insns") ib ia;
+    Alcotest.(check (array int)) (chk "registers") rb ra;
+    Alcotest.(check string) (chk "output") ob oa;
+    eng
+  in
+  ignore (check Tier2.Predecode);
+  match check Tier2.Block with
+  | Some st -> Tier2.stats st
+  | None -> Alcotest.failf "%s: tier-2 engine failed to attach" name
+
+let test_tier_parity () =
+  (* a spread of control shapes; each must actually run compiled code *)
+  let jump_table_src =
+    {|
+main:   mov 1, %o0
+        set table, %l0
+        sll %o0, 2, %l1
+        ld [%l0 + %l1], %l2
+        jmp %l2
+        nop
+c0:     mov 100, %o0
+        ba Lend
+        nop
+c1:     mov 200, %o0
+        ba Lend
+        nop
+Lend:   ta 2
+|}
+    ^ exit0
+    ^ "        .data\n        .align 4\ntable:  .word c0, c1\n"
+  in
+  let annul_src =
+    {|
+main:   mov 3, %l0
+Lloop:  cmp %l0, 1
+        be,a Ldone
+        mov 99, %o1             ! executes only on the taken exit
+        subcc %l0, 1, %l0
+        ba Lloop
+        nop
+Ldone:  mov %o1, %o0
+        ta 2
+|}
+    ^ exit0
+  in
+  let widths_src =
+    {|
+main:   mov 4, %l0
+        set buf, %l2
+Lloop:  std %l0, [%l2]
+        ldd [%l2], %o2
+        sth %l0, [%l2 + 8]
+        ldsh [%l2 + 8], %o0
+        ta 2
+        subcc %l0, 1, %l0
+        bne Lloop
+        stb %l0, [%l2 + 10]
+|}
+    ^ exit0
+    ^ "        .data\n        .align 8\nbuf:    .word 0, 0, 0\n"
+  in
+  List.iter
+    (fun (name, src) ->
+      let st = check_tiers_agree name src in
+      Alcotest.(check bool)
+        (name ^ ": compiled blocks ran")
+        true
+        (st.Tier2.st_block_runs >= 1))
+    [
+      ("countdown", fuel_parity_src);
+      ("jump-table", jump_table_src);
+      ("annul-loop", annul_src);
+      ("mem-widths", widths_src);
+    ]
+
+(* OSR state transfer, swept over every boundary of a chained block
+   pair. The loop body is two blocks (A: subcc + two slots + ba/delay;
+   B: two slots + cmp + bne/delay); a udiv divides by %l0, which the
+   subcc drives 2 -> 1 -> 0, so the poison slot divides cleanly on the
+   warmup iteration (compiling and chaining both blocks) and faults on
+   the second, by then fully inside compiled code. The deopt must
+   replay the udiv in tier-1 and fault with an identical event log,
+   instruction count and register file, wherever the poison sits. *)
+let osr_src ~poison =
+  let slot i =
+    if i = poison then "        udiv %l2, %l0, %l3\n"
+    else Printf.sprintf "        add %%l4, %d, %%l4\n" (i + 1)
+  in
+  "main:   mov 2, %l0\n        mov 7, %l2\n        mov 0, %l4\n"
+  ^ "Lloop:  subcc %l0, 1, %l0\n" ^ slot 0 ^ slot 1 ^ "        ba Lb\n"
+  ^ slot 2 (* A's delay slot *) ^ "Lb:\n" ^ slot 3 ^ slot 4
+  ^ "        cmp %l0, 0\n        bne Lloop\n"
+  ^ slot 5 (* B's delay slot (untaken on the faulting iteration) *)
+  ^ exit0
+
+let test_tier_osr_boundaries () =
+  for poison = 0 to 5 do
+    let name = Printf.sprintf "poison at slot %d" poison in
+    let st = check_tiers_agree name (osr_src ~poison) in
+    Alcotest.(check bool) (name ^ ": deopted") true (st.Tier2.st_deopts >= 1);
+    Alcotest.(check bool)
+      (name ^ ": blocks chained")
+      true
+      (st.Tier2.st_links >= 1)
+  done
+
+let test_tier_selfmod_suite () =
+  (* the st/stb self-modify programs from the predecode suite: a store
+     into an already-compiled block must invalidate the closure, and the
+     patched instruction must execute *)
+  List.iter
+    (fun (name, src) ->
+      let st = check_tiers_agree name src in
+      Alcotest.(check bool)
+        (name ^ ": compiled block invalidated")
+        true
+        (st.Tier2.st_invalidated >= 1))
+    [ ("selfmod-word", selfmod_word_src); ("selfmod-byte", selfmod_byte_src) ]
+
+let test_tier_invalidate_chained () =
+  (* block B stores block A's own first word back into A every iteration
+     (same value, so semantics are unchanged): each store must kill A's
+     compiled closure, sever B's chain slot into it, and force a
+     recompile on the next arrival *)
+  let src =
+    {|
+main:   mov 4, %l0
+        set Lhead, %l2
+        ld [%l2], %l3
+Lhead:  add %l4, 1, %l4
+        ba Lb
+        nop
+Lb:     st %l3, [%l2]
+        subcc %l0, 1, %l0
+        bne Lhead
+        nop
+|}
+    ^ exit0
+  in
+  let st = check_tiers_agree "rewrite-chained" src in
+  Alcotest.(check bool)
+    "blocks invalidated" true
+    (st.Tier2.st_invalidated >= 2);
+  Alcotest.(check bool) "chain slots severed" true (st.Tier2.st_unlinked >= 1);
+  Alcotest.(check bool)
+    "recompiled after invalidation" true
+    (st.Tier2.st_compiled > st.Tier2.st_live)
+
+let test_tier_selfstore_deopt () =
+  (* a store into the block currently executing: the engine must finish
+     the store, OSR out at the next boundary (the closure is stale), and
+     resume in tier-1 — every loop iteration *)
+  let src =
+    {|
+main:   mov 3, %l0
+        set Lself, %l2
+        ld [%l2], %l3
+Lloop:  st %l3, [%l2]
+Lself:  add %l4, 1, %l4
+        subcc %l0, 1, %l0
+        bne Lloop
+        nop
+|}
+    ^ exit0
+  in
+  let st = check_tiers_agree "self-store" src in
+  Alcotest.(check bool) "deopted mid-block" true (st.Tier2.st_deopts >= 1);
+  Alcotest.(check bool)
+    "invalidated itself" true
+    (st.Tier2.st_invalidated >= 1)
+
 let () =
   Alcotest.run "emu"
     [
@@ -691,10 +931,22 @@ let () =
         ] );
       ( "fuel-and-pokes",
         [
-          Alcotest.test_case "fuel boundary parity" `Quick
+          Alcotest.test_case "fuel boundary parity (three tiers)" `Quick
             test_fuel_boundary_parity;
           Alcotest.test_case "poke mode parity" `Quick test_poke_mode_parity;
           Alcotest.test_case "invalid pokes dropped" `Quick
             test_poke_invalid_dropped;
+        ] );
+      ( "tier2",
+        [
+          Alcotest.test_case "three-tier parity" `Quick test_tier_parity;
+          Alcotest.test_case "osr at every block boundary" `Quick
+            test_tier_osr_boundaries;
+          Alcotest.test_case "self-modify invalidates blocks" `Quick
+            test_tier_selfmod_suite;
+          Alcotest.test_case "invalidation severs chains" `Quick
+            test_tier_invalidate_chained;
+          Alcotest.test_case "self-store deopts" `Quick
+            test_tier_selfstore_deopt;
         ] );
     ]
